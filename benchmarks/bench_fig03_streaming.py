@@ -1,0 +1,24 @@
+"""Figure 3: per-SM streaming data size per monitoring window.
+
+Paper-reported shape: 9 of 20 apps stream more than 16 KB per window
+(a third of the L1); in BI, LI, SR2, 2D and HS the streaming data
+exceeds the whole cache.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_series, run_fig3
+
+
+def test_fig3_streaming_data(benchmark, ctx):
+    data = run_once(benchmark, run_fig3, ctx)
+    print()
+    print(format_series("Figure 3: streaming data per window (KB)",
+                        {k: round(v, 1) for k, v in data.items()}))
+    streamers = [app for app, kb in data.items() if kb > 1.0]
+    print(f"\napps with streaming traffic: {', '.join(streamers)}")
+    expected_streamers = {"BI", "LI", "SR2", "2D", "HS"} & set(data)
+    found = expected_streamers & set(streamers)
+    print(f"paper's heavy streamers found: {sorted(found)} "
+          f"(expected {sorted(expected_streamers)})")
+    assert len(found) >= max(1, len(expected_streamers) - 1)

@@ -1,0 +1,27 @@
+"""Figure 4: statically (SUR) and dynamically (DUR) unused register
+file space under the Best-SWL configuration.
+
+Paper-reported shape: SUR ranges from ~4 KB to 144 KB (average
+87.1 KB); in 13 of 20 apps Best-SWL leaves 27-173 KB dynamically
+unused (average 58.7 KB among those).
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table, run_fig4
+
+
+def test_fig4_unused_register_file(benchmark, ctx):
+    data = run_once(benchmark, run_fig4, ctx)
+    print()
+    print(format_table("Figure 4: unused register file under Best-SWL (KB)",
+                       data, columns=("sur_kb", "dur_kb", "swl_limit"),
+                       precision=1))
+    surs = [row["sur_kb"] for row in data.values()]
+    durs = [row["dur_kb"] for row in data.values() if row["dur_kb"] > 0]
+    print(f"\nmean SUR: {sum(surs)/len(surs):.1f} KB (paper: 87.1 KB)")
+    if durs:
+        print(f"apps with DUR: {len(durs)}/{len(data)}, "
+              f"mean {sum(durs)/len(durs):.1f} KB (paper: 13/20, 58.7 KB)")
+    # Shape: a meaningful amount of register file is idle on average.
+    assert sum(surs) / len(surs) > 16

@@ -1,0 +1,33 @@
+"""Figure 11: Linebacker technique breakdown — Victim Caching (keep
+everything), Selective Victim Caching (filter streams, SUR only), and
+Throttling+Selective Victim Caching (full Linebacker), normalized to
+Best-SWL.
+
+Paper-reported shape: selectivity gains >7% over plain victim caching
+on the streaming-heavy apps (BI, BC, BG, SR2, SP); adding CTA
+throttling gains another 7.7% on average.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table, run_fig11
+
+
+def test_fig11_technique_breakdown(benchmark, ctx):
+    data = run_once(benchmark, run_fig11, ctx)
+    print()
+    print(format_table(
+        "Figure 11: Linebacker breakdown (normalized to Best-SWL)",
+        data,
+        columns=("victim_caching", "selective_victim_caching",
+                 "throttling_selective_victim_caching")))
+    gm = data["GM"]
+    print(f"\ngeomean: VC={gm['victim_caching']:.3f}  "
+          f"SVC={gm['selective_victim_caching']:.3f}  "
+          f"full LB={gm['throttling_selective_victim_caching']:.3f}")
+    # Shape: each added technique helps on average.
+    assert gm["selective_victim_caching"] >= gm["victim_caching"] * 0.97
+    assert (
+        gm["throttling_selective_victim_caching"]
+        >= gm["selective_victim_caching"] * 0.97
+    )

@@ -1,0 +1,28 @@
+"""Figure 12: the headline comparison — baseline, PCAL, CERF and
+Linebacker, normalized to Best-SWL.
+
+Paper-reported shape (geomean over 20 apps): Linebacker +29.0% over
+Best-SWL; CERF +19.6%; PCAL +7.6%; i.e. LB > CERF > PCAL > Best-SWL >
+baseline.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table, run_fig12
+
+
+def test_fig12_performance_comparison(benchmark, ctx):
+    data = run_once(benchmark, run_fig12, ctx)
+    print()
+    print(format_table(
+        "Figure 12: performance (normalized to Best-SWL)",
+        data, columns=("baseline", "pcal", "cerf", "linebacker")))
+    gm = data["GM"]
+    print(f"\ngeomean  baseline={gm['baseline']:.3f}  pcal={gm['pcal']:.3f} "
+          f"(paper 1.076)  cerf={gm['cerf']:.3f} (paper 1.196)  "
+          f"linebacker={gm['linebacker']:.3f} (paper 1.290)")
+    # The paper's headline ordering.
+    assert gm["linebacker"] > 1.0, "LB must beat Best-SWL on geomean"
+    assert gm["linebacker"] > gm["pcal"], "LB must beat PCAL"
+    assert gm["linebacker"] > gm["baseline"], "LB must beat the baseline"
+    assert gm["cerf"] > gm["baseline"], "CERF must beat the baseline"

@@ -1,0 +1,32 @@
+"""Figure 15: combinations of prior techniques — Baseline+SVC,
+PCAL+CERF, PCAL+SVC, Linebacker, and LB+CacheExt, normalized to
+Best-SWL.
+
+Paper-reported shape: PCAL+CERF +21.3%, PCAL+SVC +25.1%, Linebacker
++29.0%, LB+CacheExt +41.9% — Linebacker beats every combination of
+prior work, and still adds value on top of an idealized enlarged cache.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table, run_fig15
+
+
+def test_fig15_combinations(benchmark, ctx):
+    data = run_once(benchmark, run_fig15, ctx)
+    print()
+    print(format_table(
+        "Figure 15: combinations (normalized to Best-SWL)",
+        data,
+        columns=("baseline_svc", "pcal_cerf", "pcal_svc",
+                 "linebacker", "lb_cache_ext")))
+    gm = data["GM"]
+    print(f"\ngeomean  baseline_svc={gm['baseline_svc']:.3f}  "
+          f"pcal_cerf={gm['pcal_cerf']:.3f} (paper 1.213)  "
+          f"pcal_svc={gm['pcal_svc']:.3f} (paper 1.251)  "
+          f"LB={gm['linebacker']:.3f} (paper 1.290)  "
+          f"LB+CacheExt={gm['lb_cache_ext']:.3f} (paper 1.419)")
+    # Shape: full Linebacker is at least competitive with the combos,
+    # and the idealized cache extension only helps it further.
+    assert gm["linebacker"] >= gm["pcal_cerf"] * 0.95
+    assert gm["lb_cache_ext"] >= gm["linebacker"] * 0.95

@@ -1,0 +1,25 @@
+"""Figure 16: register file bank conflicts of CERF and Linebacker,
+normalized to the baseline.
+
+Paper-reported shape: both increase conflicts (cache lines live in the
+register banks), but Linebacker (+29.1%) stays well below CERF
+(+52.4%) because stream filtering cuts register-file writes and its
+higher L1 hit ratio avoids register reads entirely.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table, run_fig16
+
+
+def test_fig16_bank_conflicts(benchmark, ctx):
+    data = run_once(benchmark, run_fig16, ctx)
+    print()
+    print(format_table(
+        "Figure 16: RF bank conflicts (normalized to baseline)",
+        data, columns=("cerf", "linebacker")))
+    gm = data["GM"]
+    print(f"\ngeomean  cerf={gm['cerf']:.3f} (paper 1.524)  "
+          f"linebacker={gm['linebacker']:.3f} (paper 1.291)")
+    # Shape: Linebacker causes no more conflicts than CERF.
+    assert gm["linebacker"] <= gm["cerf"] * 1.05

@@ -1,0 +1,24 @@
+"""Figure 18: energy consumption of CERF and Linebacker, normalized to
+the baseline.
+
+Paper-reported shape: Linebacker reduces energy 22.1% on average
+(CERF: 21.2%) — the execution-time reduction dominates the small extra
+power of the new structures.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_table, run_fig18
+
+
+def test_fig18_energy(benchmark, ctx):
+    data = run_once(benchmark, run_fig18, ctx)
+    print()
+    print(format_table(
+        "Figure 18: energy (normalized to baseline)",
+        data, columns=("cerf", "linebacker")))
+    gm = data["GM"]
+    print(f"\ngeomean  cerf={gm['cerf']:.3f} (paper 0.788)  "
+          f"linebacker={gm['linebacker']:.3f} (paper 0.779)")
+    # Shape: Linebacker saves energy versus the baseline on geomean.
+    assert gm["linebacker"] < 1.0

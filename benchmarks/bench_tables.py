@@ -1,0 +1,80 @@
+"""Tables 1-3 and the Section 4.2 overhead inventory.
+
+Tables 1 and 3 are configuration tables — reproduced directly from the
+config dataclasses. Table 2 is the application list. Section 4.2's
+storage overhead (5.88 KB per SM) is recomputed structure by structure.
+"""
+
+from conftest import run_once
+
+from repro.analysis import format_series, storage_overhead
+from repro.config import GPUConfig, LinebackerConfig
+from repro.workloads import APP_SPECS, CACHE_INSENSITIVE, CACHE_SENSITIVE
+
+
+def test_table1_gpu_configuration(benchmark):
+    gpu = run_once(benchmark, GPUConfig)
+    print()
+    print(format_series("Table 1: baseline GPU configuration", {
+        "# of SMs": gpu.num_sms,
+        "clock (MHz)": gpu.clock_mhz,
+        "SIMD width": gpu.simd_width,
+        "max threads/warps/CTAs per SM":
+            f"{gpu.max_threads_per_sm}/{gpu.max_warps_per_sm}/{gpu.max_ctas_per_sm}",
+        "schedulers per SM (GTO)": gpu.num_schedulers,
+        "register file per SM (KB)": gpu.register_file_bytes // 1024,
+        "shared memory per SM (KB)": gpu.shared_memory_bytes // 1024,
+        "L1 per SM (KB, 8-way, 128B)": gpu.l1_size_bytes // 1024,
+        "L1 MSHRs": gpu.l1_mshrs,
+        "L2 (KB, 8-way)": gpu.l2_size_bytes // 1024,
+        "DRAM bandwidth (GB/s)": gpu.dram_bandwidth_gbps,
+    }))
+    assert gpu.num_sms == 16
+    assert gpu.l1_num_sets == 48
+    assert gpu.num_warp_registers == 2048
+
+
+def test_table2_applications(benchmark):
+    specs = run_once(benchmark, lambda: APP_SPECS)
+    print()
+    print("== Table 2: benchmark applications ==")
+    print("cache-sensitive:")
+    for name in CACHE_SENSITIVE:
+        print(f"  {name:4s} {specs[name].description}")
+    print("cache-insensitive:")
+    for name in CACHE_INSENSITIVE:
+        print(f"  {name:4s} {specs[name].description}")
+    assert len(specs) == 20
+
+
+def test_table3_linebacker_configuration(benchmark):
+    lb = run_once(benchmark, LinebackerConfig)
+    print()
+    print(format_series("Table 3: Linebacker configuration", {
+        "monitoring period (cycles)": lb.window_cycles,
+        "cache hit threshold": lb.hit_ratio_threshold,
+        "IPC variation bounds": f"+{lb.ipc_upper_bound}/{lb.ipc_lower_bound}",
+        "VTT configuration": f"{lb.vtt_ways}-way VP x {lb.max_vtt_partitions} VPs",
+        "VP access latency (cycles)": lb.vp_access_latency,
+    }))
+    assert lb.window_cycles == 50_000
+    assert lb.hit_ratio_threshold == 0.20
+    assert lb.vtt_ways == 4 and lb.max_vtt_partitions == 8
+
+
+def test_section42_storage_overhead(benchmark):
+    overhead = run_once(benchmark, storage_overhead)
+    print()
+    print(format_series("Section 4.2: storage overhead (bytes/SM)", {
+        "HPC fields (L1 lines)": overhead.hpc_fields,
+        "Load Monitor": overhead.load_monitor,
+        "IPC monitor": overhead.ipc_monitor,
+        "CTA manager common info": overhead.cta_manager,
+        "Per-CTA Info": overhead.per_cta_info,
+        "Victim Tag Table": overhead.vtt,
+        "backup buffer": overhead.buffer,
+        "TOTAL (KB)": overhead.total_kb,
+    }, precision=1))
+    print("\npaper: 240 B + 392 B + 4608 B + 792 B + small structures "
+          "= 5.88 KB")
+    assert overhead.total_kb < 6.5

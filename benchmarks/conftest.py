@@ -1,0 +1,49 @@
+"""Shared fixtures for the figure-reproduction benchmark harness.
+
+All figure benchmarks share one :class:`ExperimentContext`, so common
+simulations (baseline, Best-SWL oracle sweep, Linebacker, CERF, PCAL
+per app) run once per pytest session regardless of how many figures
+are regenerated.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE``  — workload iteration scale (default 0.5; use
+  1.0 for the full-length traces, 0.2 for a smoke run).
+* ``REPRO_BENCH_APPS``   — comma-separated app subset (default: all 20).
+* ``REPRO_BENCH_SMS``    — number of SMs simulated (default 4).
+"""
+
+import os
+
+import pytest
+
+from repro.analysis import ExperimentContext
+from repro.config import scaled_config
+from repro.workloads import ALL_APPS
+
+
+def _apps() -> tuple[str, ...]:
+    raw = os.environ.get("REPRO_BENCH_APPS", "")
+    if not raw:
+        return ALL_APPS
+    apps = tuple(a.strip() for a in raw.split(",") if a.strip())
+    unknown = set(apps) - set(ALL_APPS)
+    if unknown:
+        raise ValueError(f"unknown apps in REPRO_BENCH_APPS: {sorted(unknown)}")
+    return apps
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+    num_sms = int(os.environ.get("REPRO_BENCH_SMS", "4"))
+    return ExperimentContext(
+        config=scaled_config(num_sms=num_sms),
+        scale=scale,
+        apps=_apps(),
+    )
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Compare Linebacker against the paper's baselines on one application.
+
+Reproduces a single column of the paper's Figure 12: baseline GPU,
+Best-SWL (oracle static throttling), PCAL (throttling + bypassing),
+CERF (unified register-file/L1), and Linebacker — all on the same
+kernel, normalized to Best-SWL.
+
+Run:
+    python examples/compare_architectures.py [APP]
+
+APP is one of the 20 Table 2 codes (default: S2).
+"""
+
+import sys
+
+from repro.analysis import ExperimentContext, format_series
+from repro.config import scaled_config
+from repro.workloads import ALL_APPS
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "S2"
+    if app not in ALL_APPS:
+        raise SystemExit(f"unknown app {app!r}; choose one of {', '.join(ALL_APPS)}")
+
+    ctx = ExperimentContext(config=scaled_config(), scale=0.5, apps=(app,))
+
+    print(f"Running 5 architectures on {app} (this sweeps CTA limits "
+          f"for the Best-SWL oracle; takes a minute or two)...")
+    best = ctx.best_swl(app)
+    results = {
+        "baseline": ctx.baseline(app).ipc,
+        f"best_swl (limit={best.best_limit})": best.ipc,
+        "pcal": ctx.pcal(app).ipc,
+        "cerf": ctx.cerf(app).ipc,
+        "linebacker": ctx.linebacker(app).ipc,
+    }
+
+    print(format_series(f"{app}: IPC", results))
+    normalized = {k: v / best.ipc for k, v in results.items()}
+    print()
+    print(format_series(f"{app}: normalized to Best-SWL (paper Fig. 12)", normalized))
+
+    lb = ctx.linebacker(app)
+    print()
+    print(format_series(f"{app}: Linebacker request breakdown (paper Fig. 13)",
+                        lb.request_breakdown))
+
+
+if __name__ == "__main__":
+    main()

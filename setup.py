@@ -1,0 +1,12 @@
+"""Legacy setup shim: the sandbox's setuptools lacks the wheel backend
+needed for PEP 660 editable installs, so `pip install -e .` falls back
+to this setup.py (configuration lives in pyproject.toml)."""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,30 @@
+"""repro — a from-scratch reproduction of *Linebacker: Preserving
+Victim Cache Lines in Idle Register Files of GPUs* (ISCA 2019).
+
+Public API highlights:
+
+* :func:`repro.gpu.run_kernel` — simulate one kernel on the baseline GPU.
+* :func:`repro.core.linebacker_factory` — attach Linebacker to the SMs.
+* :mod:`repro.baselines` — Best-SWL, PCAL, CERF, CacheExt comparisons.
+* :mod:`repro.workloads` — the 20-application synthetic suite.
+* :mod:`repro.analysis` — one runner per paper table/figure.
+"""
+
+from repro.config import (
+    GPUConfig,
+    LinebackerConfig,
+    SimulationConfig,
+    paper_config,
+    scaled_config,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GPUConfig",
+    "LinebackerConfig",
+    "SimulationConfig",
+    "paper_config",
+    "scaled_config",
+    "__version__",
+]

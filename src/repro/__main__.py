@@ -1,0 +1,109 @@
+"""Command-line interface: regenerate any paper figure from a shell.
+
+Usage:
+    python -m repro list
+    python -m repro fig12 --apps S2,KM,LI --scale 0.3
+    python -m repro fig14 --sms 2
+    python -m repro overhead
+
+Each figure command runs the same experiment code the benchmark
+harness uses and prints the paper-style table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis import (
+    ExperimentContext,
+    format_series,
+    format_table,
+    storage_overhead,
+)
+from repro.analysis import experiments as exp
+from repro.config import scaled_config
+from repro.workloads import ALL_APPS
+
+#: figure name -> (runner, description)
+FIGURES = {
+    "fig1": (exp.run_fig1, "cold vs capacity/conflict miss breakdown"),
+    "fig2": (exp.run_fig2, "top-4 load reused working set per window"),
+    "fig3": (exp.run_fig3, "streaming data per window"),
+    "fig4": (exp.run_fig4, "SUR/DUR under Best-SWL"),
+    "fig5": (exp.run_fig5, "idealized CacheExt study"),
+    "fig9": (exp.run_fig9, "Linebacker victim space + monitoring periods"),
+    "fig10": (exp.run_fig10, "VTT partition associativity sweep"),
+    "fig11": (exp.run_fig11, "Linebacker technique breakdown"),
+    "fig12": (exp.run_fig12, "performance vs previous approaches"),
+    "fig13": (exp.run_fig13, "request breakdown per architecture"),
+    "fig14": (exp.run_fig14, "L1 size sweep"),
+    "fig15": (exp.run_fig15, "combinations of previous works"),
+    "fig16": (exp.run_fig16, "register file bank conflicts"),
+    "fig17": (exp.run_fig17, "off-chip memory traffic"),
+    "fig18": (exp.run_fig18, "energy consumption"),
+}
+
+
+def _print_result(name: str, data) -> None:
+    if name == "fig13":
+        for app, configs in data.items():
+            print(format_table(f"{name} [{app}]", configs))
+            print()
+        return
+    if isinstance(next(iter(data.values())), dict):
+        rows = {str(k): v for k, v in data.items()}
+        print(format_table(name, rows))
+    else:
+        print(format_series(name, data))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro")
+    parser.add_argument("command", help="'list', 'overhead', or a figure id (fig1..fig18)")
+    parser.add_argument("--apps", default="", help="comma-separated app subset")
+    parser.add_argument("--scale", type=float, default=0.5, help="workload scale")
+    parser.add_argument("--sms", type=int, default=4, help="number of SMs")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name, (_, description) in FIGURES.items():
+            print(f"{name:7s} {description}")
+        return 0
+    if args.command == "overhead":
+        overhead = storage_overhead()
+        print(format_series("Section 4.2 storage overhead (bytes)", {
+            "HPC fields": overhead.hpc_fields,
+            "Load Monitor": overhead.load_monitor,
+            "IPC monitor": overhead.ipc_monitor,
+            "CTA manager": overhead.cta_manager,
+            "Per-CTA Info": overhead.per_cta_info,
+            "VTT": overhead.vtt,
+            "buffer": overhead.buffer,
+            "total (KB)": overhead.total_kb,
+        }, precision=1))
+        return 0
+    if args.command not in FIGURES:
+        parser.error(f"unknown command {args.command!r}; try 'list'")
+
+    apps = tuple(a for a in args.apps.split(",") if a) or ALL_APPS
+    unknown = set(apps) - set(ALL_APPS)
+    if unknown:
+        parser.error(f"unknown apps: {sorted(unknown)}")
+
+    ctx = ExperimentContext(
+        config=scaled_config(num_sms=args.sms), scale=args.scale, apps=apps
+    )
+    runner, description = FIGURES[args.command]
+    print(f"running {args.command} ({description}) on {len(apps)} apps "
+          f"at scale {args.scale} with {args.sms} SMs...", file=sys.stderr)
+    started = time.time()
+    data = runner(ctx)
+    _print_result(args.command, data)
+    print(f"\n[{time.time() - started:.0f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

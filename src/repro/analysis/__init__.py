@@ -1,0 +1,47 @@
+"""Experiment runners reproducing every data figure in the paper's
+evaluation, plus the Section 4.2 overhead inventory."""
+
+from repro.analysis.context import ExperimentContext, geomean
+from repro.analysis.experiments import (
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    run_fig13,
+    run_fig14,
+    run_fig15,
+    run_fig16,
+    run_fig17,
+    run_fig18,
+)
+from repro.analysis.overhead import OverheadBreakdown, storage_overhead
+from repro.analysis.report import format_series, format_table
+
+__all__ = [
+    "ExperimentContext",
+    "OverheadBreakdown",
+    "format_series",
+    "format_table",
+    "geomean",
+    "run_fig1",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig9",
+    "run_fig10",
+    "run_fig11",
+    "run_fig12",
+    "run_fig13",
+    "run_fig14",
+    "run_fig15",
+    "run_fig16",
+    "run_fig17",
+    "run_fig18",
+    "storage_overhead",
+]

@@ -1,0 +1,67 @@
+"""ASCII bar charts for experiment output.
+
+The paper's figures are grouped bar charts; the CLI and benchmark
+harness print text tables for exact values, and this module renders
+the same data as horizontal bar charts for at-a-glance shape
+comparison in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+FULL = "#"
+REFERENCE = "|"
+
+
+def bar_chart(
+    title: str,
+    values: Mapping[str, float],
+    width: int = 48,
+    reference: float | None = None,
+    fmt: str = "{:.2f}",
+) -> str:
+    """Render ``{label: value}`` as horizontal bars.
+
+    ``reference`` (e.g. 1.0 for normalized figures) draws a marker
+    column so over/under-performing entries are visually separated.
+    """
+    if not values:
+        return f"== {title} ==\n(no data)"
+    vals = dict(values)
+    peak = max(max(vals.values()), reference or 0.0, 1e-12)
+    label_width = max(len(str(k)) for k in vals) + 1
+    ref_col = int(round((reference / peak) * width)) if reference else None
+
+    lines = [f"== {title} =="]
+    for label, value in vals.items():
+        filled = int(round((max(0.0, value) / peak) * width))
+        bar = list(FULL * filled + " " * (width - filled))
+        if ref_col is not None and 0 <= ref_col < width and bar[ref_col] == " ":
+            bar[ref_col] = REFERENCE
+        lines.append(
+            f"{str(label).ljust(label_width)}{''.join(bar)} {fmt.format(value)}"
+        )
+    if reference is not None:
+        lines.append(f"{' ' * label_width}{REFERENCE} = {fmt.format(reference)}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    title: str,
+    rows: Mapping[str, Mapping[str, float]],
+    series: tuple[str, ...] | None = None,
+    width: int = 40,
+    reference: float | None = None,
+) -> str:
+    """Render ``{group: {series: value}}`` as clustered bars."""
+    if not rows:
+        return f"== {title} ==\n(no data)"
+    names = series or tuple(next(iter(rows.values())))
+    lines = [f"== {title} =="]
+    for group, values in rows.items():
+        lines.append(f"{group}:")
+        sub = {name: values.get(name, 0.0) for name in names}
+        chart = bar_chart("", sub, width=width, reference=reference)
+        lines.extend(chart.splitlines()[1:])
+    return "\n".join(lines)

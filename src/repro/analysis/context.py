@@ -1,0 +1,177 @@
+"""Shared experiment context.
+
+Every figure in the paper's evaluation normalizes against some common
+set of runs (baseline, Best-SWL, Linebacker, CERF, PCAL). The context
+memoizes each (app, architecture) simulation within a process so the
+benchmark harness can regenerate all figures without re-simulating the
+same configuration dozens of times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional
+
+from repro.baselines.cache_ext import run_cache_ext, run_swl_cache_ext
+from repro.baselines.cerf import cerf_factory
+from repro.baselines.pcal import pcal_factory
+from repro.baselines.swl import BestSWLResult, best_swl
+from repro.config import LinebackerConfig, SimulationConfig, scaled_config
+from repro.core.linebacker import linebacker_factory
+from repro.gpu.gpu import SimulationResult, run_kernel
+from repro.gpu.trace import KernelTrace
+from repro.workloads.suite import ALL_APPS, kernel_for
+
+
+@dataclass
+class ExperimentContext:
+    """Memoized simulation runs for one (config, workload-scale) pair."""
+
+    config: SimulationConfig = field(default_factory=scaled_config)
+    scale: float = 1.0
+    apps: tuple[str, ...] = ALL_APPS
+    _kernels: dict[str, KernelTrace] = field(default_factory=dict)
+    _results: dict[tuple, SimulationResult] = field(default_factory=dict)
+    _best_swl: dict[tuple, BestSWLResult] = field(default_factory=dict)
+
+    def kernel(self, app: str) -> KernelTrace:
+        if app not in self._kernels:
+            self._kernels[app] = kernel_for(app, self.scale)
+        return self._kernels[app]
+
+    def _memo(self, key: tuple, run: Callable[[], SimulationResult]) -> SimulationResult:
+        if key not in self._results:
+            self._results[key] = run()
+        return self._results[key]
+
+    # -- architectures ------------------------------------------------------
+    def baseline(self, app: str, track_loads: bool = False) -> SimulationResult:
+        key = ("baseline", app, track_loads)
+        return self._memo(
+            key, lambda: run_kernel(self.config, self.kernel(app), track_loads=track_loads)
+        )
+
+    def best_swl(self, app: str) -> BestSWLResult:
+        key = (app, self.scale, id(self.config))
+        if key not in self._best_swl:
+            self._best_swl[key] = best_swl(self.config, self.kernel(app))
+        return self._best_swl[key]
+
+    def linebacker(
+        self, app: str, lb_config: Optional[LinebackerConfig] = None
+    ) -> SimulationResult:
+        lb = lb_config or self.config.linebacker
+        key = ("lb", app, lb)
+        return self._memo(
+            key,
+            lambda: run_kernel(
+                self.config, self.kernel(app), extension_factory=linebacker_factory(lb)
+            ),
+        )
+
+    def victim_caching(self, app: str) -> SimulationResult:
+        """Figure 11's 'Victim Caching': keep everything, no throttling."""
+        lb = replace(
+            self.config.linebacker, enable_selective=False, enable_throttling=False
+        )
+        return self.linebacker(app, lb)
+
+    def selective_victim_caching(self, app: str) -> SimulationResult:
+        """Figure 11's 'Selective Victim Caching': SUR space only."""
+        lb = replace(self.config.linebacker, enable_throttling=False)
+        return self.linebacker(app, lb)
+
+    def pcal(self, app: str) -> SimulationResult:
+        key = ("pcal", app)
+        return self._memo(
+            key,
+            lambda: run_kernel(
+                self.config,
+                self.kernel(app),
+                extension_factory=pcal_factory(self.config.linebacker),
+            ),
+        )
+
+    def cerf(self, app: str) -> SimulationResult:
+        key = ("cerf", app)
+        return self._memo(
+            key,
+            lambda: run_kernel(
+                self.config,
+                self.kernel(app),
+                extension_factory=cerf_factory(self.config.linebacker),
+            ),
+        )
+
+    def pcal_svc(self, app: str) -> SimulationResult:
+        """Figure 15's PCAL+SVC: bypass throttling + SUR victim cache."""
+        lb = replace(self.config.linebacker, enable_throttling=False)
+        key = ("pcal_svc", app)
+        return self._memo(
+            key,
+            lambda: run_kernel(
+                self.config,
+                self.kernel(app),
+                extension_factory=linebacker_factory(lb, enable_bypass_throttling=True),
+            ),
+        )
+
+    def pcal_cerf(self, app: str) -> SimulationResult:
+        """Figure 15's PCAL+CERF: bypass throttling over a CERF cache."""
+        key = ("pcal_cerf", app)
+
+        def run() -> SimulationResult:
+            from repro.baselines.cerf import CERFExtension
+
+            def factory():
+                ext = CERFExtension(self.config.linebacker)
+                # Graft PCAL's bypass throttler onto CERF.
+                from repro.core.linebacker import BypassThrottler
+
+                ext.enable_bypass = True
+                ext.bypass = BypassThrottler(
+                    self.config.linebacker.ipc_upper_bound,
+                    self.config.linebacker.ipc_lower_bound,
+                )
+                return ext
+
+            return run_kernel(self.config, self.kernel(app), extension_factory=factory)
+
+        return self._memo(key, run)
+
+    def cache_ext(self, app: str) -> SimulationResult:
+        key = ("cache_ext", app)
+        return self._memo(key, lambda: run_cache_ext(self.config, self.kernel(app)))
+
+    def best_swl_cache_ext(self, app: str) -> SimulationResult:
+        key = ("bswl_cache_ext", app)
+        limit = self.best_swl(app).best_limit
+        return self._memo(
+            key, lambda: run_swl_cache_ext(self.config, self.kernel(app), limit)
+        )
+
+    def lb_cache_ext(self, app: str) -> SimulationResult:
+        """Figure 15's LB+CacheExt: Linebacker over the idealized cache."""
+        from repro.baselines.cache_ext import config_with_cache_ext
+
+        key = ("lb_cache_ext", app)
+
+        def run() -> SimulationResult:
+            cfg = config_with_cache_ext(self.config, self.kernel(app))
+            return run_kernel(
+                cfg,
+                self.kernel(app),
+                extension_factory=linebacker_factory(cfg.linebacker),
+            )
+
+        return self._memo(key, run)
+
+
+def geomean(values) -> float:
+    """Geometric mean (the paper's GM bars)."""
+    import math
+
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

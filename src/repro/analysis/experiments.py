@@ -1,0 +1,305 @@
+"""One runner per paper table/figure.
+
+Each ``run_figN`` function returns a plain data structure (rows the
+paper's chart plots) and is wrapped by a benchmark target in
+``benchmarks/``. Everything is driven through a shared
+:class:`~repro.analysis.context.ExperimentContext` so common runs
+(baseline, Best-SWL, Linebacker) are simulated once per process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from repro.analysis.context import ExperimentContext, geomean
+from repro.config import KB
+from repro.gpu.gpu import (
+    dynamically_unused_register_bytes,
+    statically_unused_register_bytes,
+)
+from repro.power.energy import estimate_energy
+
+# ---------------------------------------------------------------------------
+# Figure 1: cold vs capacity/conflict miss breakdown (baseline)
+# ---------------------------------------------------------------------------
+def run_fig1(ctx: ExperimentContext) -> dict[str, dict[str, float]]:
+    """Per app: cold-miss ratio and capacity/conflict (2C) miss ratio."""
+    out: dict[str, dict[str, float]] = {}
+    for app in ctx.apps:
+        result = ctx.baseline(app)
+        out[app] = {
+            "cold": result.cold_miss_ratio,
+            "capacity_conflict": result.capacity_conflict_miss_ratio,
+            "total": result.cold_miss_ratio + result.capacity_conflict_miss_ratio,
+        }
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 2: reused working set of top-4 non-streaming loads (KB per window)
+# ---------------------------------------------------------------------------
+def run_fig2(ctx: ExperimentContext) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for app in ctx.apps:
+        result = ctx.baseline(app, track_loads=True)
+        per_sm = [
+            sm.load_tracker.top_loads_reused_working_set(4)
+            for sm in result.sms
+            if sm.load_tracker is not None
+        ]
+        out[app] = max(per_sm) / KB if per_sm else 0.0
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: streaming data size per window (KB)
+# ---------------------------------------------------------------------------
+def run_fig3(ctx: ExperimentContext) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for app in ctx.apps:
+        result = ctx.baseline(app, track_loads=True)
+        per_sm = [
+            sm.load_tracker.mean_streaming_bytes()
+            for sm in result.sms
+            if sm.load_tracker is not None
+        ]
+        out[app] = max(per_sm) / KB if per_sm else 0.0
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: statically and dynamically unused register file (KB)
+# ---------------------------------------------------------------------------
+def run_fig4(ctx: ExperimentContext) -> dict[str, dict[str, float]]:
+    out: dict[str, dict[str, float]] = {}
+    for app in ctx.apps:
+        kernel = ctx.kernel(app)
+        sur = statically_unused_register_bytes(ctx.config.gpu, kernel)
+        best = ctx.best_swl(app)
+        dur = dynamically_unused_register_bytes(
+            ctx.config.gpu, kernel, active_ctas=best.best_limit
+        )
+        out[app] = {"sur_kb": sur / KB, "dur_kb": dur / KB, "swl_limit": best.best_limit}
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: CacheExt / Best-SWL / Best-SWL+CacheExt (normalized to baseline)
+# ---------------------------------------------------------------------------
+def run_fig5(ctx: ExperimentContext) -> dict[str, dict[str, float]]:
+    out: dict[str, dict[str, float]] = {}
+    for app in ctx.apps:
+        base = ctx.baseline(app).ipc
+        out[app] = {
+            "best_swl": ctx.best_swl(app).ipc / base,
+            "cache_ext": ctx.cache_ext(app).ipc / base,
+            "best_swl_cache_ext": ctx.best_swl_cache_ext(app).ipc / base,
+        }
+    out["GM"] = {
+        key: geomean(out[a][key] for a in ctx.apps)
+        for key in ("best_swl", "cache_ext", "best_swl_cache_ext")
+    }
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: Linebacker's victim space and monitoring periods
+# ---------------------------------------------------------------------------
+def run_fig9(ctx: ExperimentContext) -> dict[str, dict[str, float]]:
+    out: dict[str, dict[str, float]] = {}
+    for app in ctx.apps:
+        result = ctx.linebacker(app)
+        kernel = ctx.kernel(app)
+        sur = statically_unused_register_bytes(ctx.config.gpu, kernel)
+        dyn = geomean(
+            max(ext.stats.mean_dynamic_unused_bytes, 1.0) for ext in result.extensions
+        )
+        periods = max(ext.load_monitor.windows_elapsed for ext in result.extensions)
+        out[app] = {
+            "sur_kb": sur / KB,
+            "dur_kb": dyn / KB if dyn > 1.0 else 0.0,
+            "monitoring_periods": periods,
+        }
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 10: VTT partition set-associativity sweep
+# ---------------------------------------------------------------------------
+def run_fig10(ctx: ExperimentContext, ways_sweep=(1, 4, 16)) -> dict[int, dict[str, float]]:
+    out: dict[int, dict[str, float]] = {}
+    for ways in ways_sweep:
+        lb = ctx.config.linebacker.with_ways(ways)
+        speeds = []
+        utils = []
+        for app in ctx.apps:
+            swl = ctx.best_swl(app).ipc
+            result = ctx.linebacker(app, lb)
+            speeds.append(result.ipc / swl)
+            utils.append(
+                geomean(
+                    max(ext.stats.register_utilization, 1e-3)
+                    for ext in result.extensions
+                )
+            )
+        out[ways] = {
+            "speedup_vs_best_swl": geomean(speeds),
+            "rf_utilization": sum(utils) / len(utils),
+        }
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 11: Linebacker technique breakdown (normalized to Best-SWL)
+# ---------------------------------------------------------------------------
+def run_fig11(ctx: ExperimentContext) -> dict[str, dict[str, float]]:
+    out: dict[str, dict[str, float]] = {}
+    for app in ctx.apps:
+        swl = ctx.best_swl(app).ipc
+        out[app] = {
+            "victim_caching": ctx.victim_caching(app).ipc / swl,
+            "selective_victim_caching": ctx.selective_victim_caching(app).ipc / swl,
+            "throttling_selective_victim_caching": ctx.linebacker(app).ipc / swl,
+        }
+    keys = (
+        "victim_caching",
+        "selective_victim_caching",
+        "throttling_selective_victim_caching",
+    )
+    out["GM"] = {k: geomean(out[a][k] for a in ctx.apps) for k in keys}
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 12: performance versus previous approaches (normalized to Best-SWL)
+# ---------------------------------------------------------------------------
+def run_fig12(ctx: ExperimentContext) -> dict[str, dict[str, float]]:
+    out: dict[str, dict[str, float]] = {}
+    for app in ctx.apps:
+        swl = ctx.best_swl(app).ipc
+        out[app] = {
+            "baseline": ctx.baseline(app).ipc / swl,
+            "pcal": ctx.pcal(app).ipc / swl,
+            "cerf": ctx.cerf(app).ipc / swl,
+            "linebacker": ctx.linebacker(app).ipc / swl,
+        }
+    keys = ("baseline", "pcal", "cerf", "linebacker")
+    out["GM"] = {k: geomean(out[a][k] for a in ctx.apps) for k in keys}
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 13: request breakdown (hit / miss / bypass / reg hit)
+# ---------------------------------------------------------------------------
+def run_fig13(ctx: ExperimentContext) -> dict[str, dict[str, dict[str, float]]]:
+    out: dict[str, dict[str, dict[str, float]]] = {}
+    for app in ctx.apps:
+        out[app] = {
+            "B": ctx.baseline(app).request_breakdown,
+            "S": ctx.best_swl(app).best_result.request_breakdown,
+            "P": ctx.pcal(app).request_breakdown,
+            "C": ctx.cerf(app).request_breakdown,
+            "L": ctx.linebacker(app).request_breakdown,
+        }
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 14: L1 cache size sweep (LB and CERF speedup over the baseline)
+# ---------------------------------------------------------------------------
+def run_fig14(
+    ctx: ExperimentContext, sizes_kb=(16, 48, 64, 96, 128)
+) -> dict[int, dict[str, float]]:
+    out: dict[int, dict[str, float]] = {}
+    for size_kb in sizes_kb:
+        sub = ExperimentContext(
+            config=replace(
+                ctx.config, gpu=ctx.config.gpu.with_l1_size(size_kb * KB)
+            ),
+            scale=ctx.scale,
+            apps=ctx.apps,
+        )
+        lb_speed = []
+        cerf_speed = []
+        for app in ctx.apps:
+            base = sub.baseline(app).ipc
+            lb_speed.append(sub.linebacker(app).ipc / base)
+            cerf_speed.append(sub.cerf(app).ipc / base)
+        out[size_kb] = {
+            "linebacker": geomean(lb_speed),
+            "cerf": geomean(cerf_speed),
+        }
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 15: combinations of previous works (normalized to Best-SWL)
+# ---------------------------------------------------------------------------
+def run_fig15(ctx: ExperimentContext) -> dict[str, dict[str, float]]:
+    out: dict[str, dict[str, float]] = {}
+    for app in ctx.apps:
+        swl = ctx.best_swl(app).ipc
+        out[app] = {
+            "baseline_svc": ctx.victim_caching(app).ipc / swl,
+            "pcal_cerf": ctx.pcal_cerf(app).ipc / swl,
+            "pcal_svc": ctx.pcal_svc(app).ipc / swl,
+            "linebacker": ctx.linebacker(app).ipc / swl,
+            "lb_cache_ext": ctx.lb_cache_ext(app).ipc / swl,
+        }
+    keys = ("baseline_svc", "pcal_cerf", "pcal_svc", "linebacker", "lb_cache_ext")
+    out["GM"] = {k: geomean(out[a][k] for a in ctx.apps) for k in keys}
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 16: register file bank conflicts (normalized to baseline)
+# ---------------------------------------------------------------------------
+def run_fig16(ctx: ExperimentContext) -> dict[str, dict[str, float]]:
+    out: dict[str, dict[str, float]] = {}
+    for app in ctx.apps:
+        base = max(1, ctx.baseline(app).bank_conflicts)
+        out[app] = {
+            "cerf": ctx.cerf(app).bank_conflicts / base,
+            "linebacker": ctx.linebacker(app).bank_conflicts / base,
+        }
+    out["GM"] = {
+        k: geomean(out[a][k] for a in ctx.apps if out[a][k] > 0)
+        for k in ("cerf", "linebacker")
+    }
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 17: off-chip memory traffic (normalized to baseline)
+# ---------------------------------------------------------------------------
+def run_fig17(ctx: ExperimentContext) -> dict[str, dict[str, float]]:
+    out: dict[str, dict[str, float]] = {}
+    for app in ctx.apps:
+        base = max(1, ctx.baseline(app).traffic.total_lines)
+        lb = ctx.linebacker(app)
+        out[app] = {
+            "cerf": ctx.cerf(app).traffic.total_lines / base,
+            "linebacker": lb.traffic.total_lines / base,
+            "lb_register_overhead": lb.traffic.register_overhead_lines / base,
+        }
+    out["GM"] = {
+        k: geomean(max(out[a][k], 1e-6) for a in ctx.apps)
+        for k in ("cerf", "linebacker")
+    }
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 18: energy consumption (normalized to baseline)
+# ---------------------------------------------------------------------------
+def run_fig18(ctx: ExperimentContext) -> dict[str, dict[str, float]]:
+    out: dict[str, dict[str, float]] = {}
+    for app in ctx.apps:
+        base = estimate_energy(ctx.baseline(app)).total
+        out[app] = {
+            "cerf": estimate_energy(ctx.cerf(app)).total / base,
+            "linebacker": estimate_energy(ctx.linebacker(app)).total / base,
+        }
+    out["GM"] = {
+        k: geomean(out[a][k] for a in ctx.apps) for k in ("cerf", "linebacker")
+    }
+    return out

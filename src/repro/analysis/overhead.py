@@ -1,0 +1,83 @@
+"""Storage overhead accounting (paper Section 4.2).
+
+The paper tallies each new structure's storage and arrives at 5.88 KB
+per SM (about 0.9% of an SM's area). This module recomputes the same
+inventory from the configuration so the benchmark harness can print
+the table and tests can pin the total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import GPUConfig, LinebackerConfig
+
+
+@dataclass(frozen=True)
+class OverheadBreakdown:
+    """Per-structure storage cost in bytes."""
+
+    hpc_fields: float
+    load_monitor: float
+    ipc_monitor: float
+    cta_manager: float
+    per_cta_info: float
+    vtt: float
+    buffer: float
+
+    @property
+    def total_bytes(self) -> float:
+        return (
+            self.hpc_fields
+            + self.load_monitor
+            + self.ipc_monitor
+            + self.cta_manager
+            + self.per_cta_info
+            + self.vtt
+            + self.buffer
+        )
+
+    @property
+    def total_kb(self) -> float:
+        return self.total_bytes / 1024
+
+
+def storage_overhead(
+    gpu: GPUConfig | None = None, lb: LinebackerConfig | None = None
+) -> OverheadBreakdown:
+    """Recompute Section 4.2's storage inventory."""
+    gpu = gpu or GPUConfig()
+    lb = lb or LinebackerConfig()
+
+    # 5-bit hashed-PC field per L1 line (240 B for a 48 KB cache).
+    num_l1_lines = gpu.l1_size_bytes // gpu.l1_line_bytes
+    hpc_fields = num_l1_lines * lb.hpc_bits / 8
+
+    # LM: 32 entries x (2-bit valid + three 4-byte registers) = 392 B.
+    load_monitor = lb.lm_entries * (2 / 8 + 3 * 4)
+
+    # IPC monitor: three 32-bit fields.
+    ipc_monitor = 3 * 4
+
+    # CTA manager common info: two 11-bit (#reg, LRN) + one 32-bit (BP).
+    cta_manager = (2 * 11 + 32) / 8
+
+    # Per-CTA Info: 32 entries x (ACT 1b + C 1b + FRN 11b + BA 32b).
+    per_cta_info = gpu.max_ctas_per_sm * (1 + 1 + 11 + 32) / 8
+
+    # VTT: 1536 entries x (1-bit valid + 18-bit tag + 5-bit meta) = 4608 B.
+    vtt_entries = lb.max_vtt_partitions * (gpu.l1_num_sets * lb.vtt_ways)
+    vtt = vtt_entries * (1 + 18 + 5) / 8
+
+    # 6-entry backup buffer: (4 B address + 128 B line) each = 792 B.
+    buffer = lb.backup_buffer_entries * (4 + gpu.l1_line_bytes)
+
+    return OverheadBreakdown(
+        hpc_fields=hpc_fields,
+        load_monitor=load_monitor,
+        ipc_monitor=ipc_monitor,
+        cta_manager=cta_manager,
+        per_cta_info=per_cta_info,
+        vtt=vtt,
+        buffer=buffer,
+    )

@@ -1,0 +1,51 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The paper reports figures as grouped bar charts; the harness prints
+the same data as aligned text tables so "the rows/series the paper
+reports" appear directly in benchmark output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+
+def format_table(
+    title: str,
+    rows: Mapping[str, Mapping[str, float]],
+    columns: Iterable[str] | None = None,
+    precision: int = 3,
+) -> str:
+    """Render {row: {column: value}} as an aligned text table."""
+    rows = dict(rows)
+    if not rows:
+        return f"== {title} ==\n(no data)"
+    cols = list(columns) if columns is not None else list(next(iter(rows.values())))
+    name_width = max(len(r) for r in rows) + 2
+    col_width = max(12, max(len(c) for c in cols) + 2)
+
+    lines = [f"== {title} =="]
+    header = " " * name_width + "".join(c.rjust(col_width) for c in cols)
+    lines.append(header)
+    for name, values in rows.items():
+        cells = []
+        for col in cols:
+            value = values.get(col, float("nan"))
+            if isinstance(value, float):
+                cells.append(f"{value:.{precision}f}".rjust(col_width))
+            else:
+                cells.append(str(value).rjust(col_width))
+        lines.append(name.ljust(name_width) + "".join(cells))
+    return "\n".join(lines)
+
+
+def format_series(title: str, series: Mapping, precision: int = 3) -> str:
+    """Render a flat {key: value} mapping."""
+    lines = [f"== {title} =="]
+    width = max(len(str(k)) for k in series) + 2
+    for key, value in series.items():
+        if isinstance(value, float):
+            lines.append(f"{str(key).ljust(width)}{value:.{precision}f}")
+        else:
+            lines.append(f"{str(key).ljust(width)}{value}")
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Static Warp Limiting (SWL) and the Best-SWL oracle.
+
+The paper's main comparison point is Best-SWL (Section 2.4): for each
+application, an oracle picks the static CTA limit that maximizes
+performance; this idealized static throttling was shown to beat
+dynamic schemes like CCWS. We reproduce it as a sweep over concurrent
+CTA limits per SM, memoized per (kernel, config) within a process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config import SimulationConfig
+from repro.gpu.gpu import SimulationResult, run_kernel
+from repro.gpu.sm import SM
+from repro.gpu.trace import KernelTrace
+
+_best_swl_cache: dict[tuple, "BestSWLResult"] = {}
+
+
+@dataclass
+class BestSWLResult:
+    """Outcome of the Best-SWL oracle sweep."""
+
+    best_limit: int
+    best_result: SimulationResult
+    sweep_ipc: dict[int, float]
+
+    @property
+    def ipc(self) -> float:
+        return self.best_result.ipc
+
+
+def run_swl(
+    config: SimulationConfig, kernel: KernelTrace, cta_limit: int
+) -> SimulationResult:
+    """Run with a static per-SM concurrent-CTA limit."""
+    if cta_limit < 1:
+        raise ValueError("CTA limit must be at least 1")
+    return run_kernel(config, kernel, max_concurrent_ctas=cta_limit)
+
+
+def sweep_limits(max_occupancy: int) -> list[int]:
+    """Candidate static limits: dense at the low end where throttling
+    matters, sparse above."""
+    candidates = {1, 2, 3, 4, 6, 8, 12, 16, 24, 32, max_occupancy}
+    return sorted(c for c in candidates if 1 <= c <= max_occupancy)
+
+
+def best_swl(
+    config: SimulationConfig,
+    kernel: KernelTrace,
+    cache_key: Optional[tuple] = None,
+) -> BestSWLResult:
+    """The Best-SWL oracle: try every candidate limit, keep the best.
+
+    ``cache_key`` (when given) memoizes the sweep — the oracle is by
+    far the most expensive baseline, and several experiments normalize
+    against it.
+    """
+    if cache_key is not None and cache_key in _best_swl_cache:
+        return _best_swl_cache[cache_key]
+
+    max_occ = SM.hardware_occupancy(config.gpu, kernel)
+    sweep: dict[int, float] = {}
+    best_limit = max_occ
+    best_result: Optional[SimulationResult] = None
+    for limit in sweep_limits(max_occ):
+        result = run_swl(config, kernel, limit)
+        sweep[limit] = result.ipc
+        if best_result is None or result.ipc > best_result.ipc:
+            best_result = result
+            best_limit = limit
+    assert best_result is not None
+    outcome = BestSWLResult(best_limit=best_limit, best_result=best_result, sweep_ipc=sweep)
+    if cache_key is not None:
+        _best_swl_cache[cache_key] = outcome
+    return outcome
+
+
+def clear_cache() -> None:
+    _best_swl_cache.clear()

@@ -1,0 +1,135 @@
+"""Register backup/restore engine with the 6-entry staging buffer.
+
+When the CTA Throttling Logic deactivates a CTA, every warp register of
+that CTA must be written to a dedicated off-chip backup region before
+the register file space may be reused as victim-cache storage (the C
+bit in the Per-CTA Info table turns true only when the last write
+completes). Restores run the reverse path with high priority.
+
+The paper uses a 6-entry buffer (each entry: 32-bit address + 128-byte
+line) so register reads and DRAM writes overlap; we model the buffer's
+effect as pipelined draining at DRAM bandwidth and account the traffic
+(the "Linebacker overhead" series of Figure 17).
+
+Register *values* round-trip through a backup store keyed by backup
+address, so tests can prove a restored CTA observes exactly the tokens
+it backed up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.config import WARP_REGISTER_BYTES
+from repro.gpu.register_file import RegisterFile
+from repro.memory.subsystem import MemorySubsystem
+
+
+@dataclass
+class BackupRecord:
+    """What was saved for one throttled CTA."""
+
+    backup_address: int
+    first_register: int
+    values: list[Optional[int]]
+    complete: bool = False  # the C bit
+
+
+@dataclass
+class BackupStats:
+    backups: int = 0
+    restores: int = 0
+    lines_written: int = 0
+    lines_read: int = 0
+
+
+class RegisterBackupEngine:
+    """Backs up and restores CTA register state through DRAM."""
+
+    def __init__(self, memory: MemorySubsystem, buffer_entries: int = 6) -> None:
+        self.memory = memory
+        self.buffer_entries = buffer_entries
+        #: Backup Pointer: next free off-chip backup address. The paper
+        #: initializes BP to a constant address and bumps it by
+        #: #reg x 128 per backup.
+        self.backup_pointer = 0x8000_0000
+        self._store: dict[int, BackupRecord] = {}
+        self.stats = BackupStats()
+
+    def backup(
+        self,
+        register_file: RegisterFile,
+        registers: range,
+        cycle: int,
+        on_complete: Callable[[int], None],
+        schedule: Callable[[int, Callable[[int], None]], None],
+    ) -> BackupRecord:
+        """Start backing up ``registers``; ``on_complete(cycle)`` fires
+        when the last line reaches memory (the C bit turning true).
+
+        ``schedule(ready_cycle, callback)`` defers the completion into
+        the SM's event loop.
+        """
+        values = [register_file.peek(r) for r in registers]
+        record = BackupRecord(
+            backup_address=self.backup_pointer,
+            first_register=registers.start,
+            values=values,
+        )
+        self._store[record.backup_address] = record
+        self.backup_pointer += len(values) * WARP_REGISTER_BYTES
+
+        num_lines = len(values)
+        # The 6-entry buffer pipelines register reads with DRAM writes,
+        # so total time is dominated by the DRAM bandwidth component.
+        ready = self.memory.backup_registers(num_lines, cycle)
+        self.stats.backups += 1
+        self.stats.lines_written += num_lines
+
+        def _complete(done_cycle: int) -> None:
+            record.complete = True
+            on_complete(done_cycle)
+
+        schedule(ready, _complete)
+        return record
+
+    def restore(
+        self,
+        record: BackupRecord,
+        register_file: RegisterFile,
+        registers: range,
+        cycle: int,
+        on_complete: Callable[[int], None],
+        schedule: Callable[[int, Callable[[int], None]], None],
+    ) -> None:
+        """Restore a backed-up CTA into ``registers``.
+
+        The register writes land when the DRAM reads return; victim
+        data occupying those registers is simply overwritten (victim
+        lines are never dirty, per the store-handling policy).
+        """
+        if not record.complete:
+            raise RuntimeError("restore before backup completed (C bit false)")
+        if len(registers) != len(record.values):
+            raise ValueError("restore register range size mismatch")
+        num_lines = len(record.values)
+        ready = self.memory.restore_registers(num_lines, cycle)
+        self.stats.restores += 1
+        self.stats.lines_read += num_lines
+
+        def _complete(done_cycle: int) -> None:
+            for reg, value in zip(registers, record.values):
+                register_file.write(reg, value, cycle=done_cycle)
+            self._store.pop(record.backup_address, None)
+            record.complete = False
+            on_complete(done_cycle)
+
+        schedule(ready, _complete)
+
+    def stored_record(self, backup_address: int) -> Optional[BackupRecord]:
+        return self._store.get(backup_address)
+
+    @property
+    def outstanding_backups(self) -> int:
+        return len(self._store)

@@ -1,0 +1,218 @@
+"""CTA Throttling Logic (CTL): IPC monitor + CTA manager.
+
+The CTL decides, once per monitoring window, whether to throttle one
+more CTA, hold, or re-activate a throttled CTA, based on the fractional
+IPC variation between consecutive windows:
+
+    IPC_Var(prev, cur) = (IPC_cur - IPC_prev) / IPC_prev        (Eq. 1)
+
+* IPC_Var > +10%  -> throttling is paying off; throttle one more CTA.
+* IPC_Var < -10%  -> throttling hurt (DRAM/core underutilization);
+                     re-activate one inactive CTA.
+* otherwise       -> hold.
+
+The CTA manager mirrors the paper's Figure 8 structures: a Common Info
+block (#reg, LRN, Backup Pointer) and a Per-CTA Info table (ACT bit,
+First Register Number, Backup Address, backup-complete C bit).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class ThrottleDecision(enum.Enum):
+    THROTTLE = "throttle"
+    HOLD = "hold"
+    REACTIVATE = "reactivate"
+
+
+@dataclass
+class IPCMonitor:
+    """The IPC monitor block: previous/current IPC and live counters."""
+
+    previous_ipc: float = 0.0
+    current_ipc: float = 0.0
+    instructions: int = 0
+    start_cycle: int = 0
+
+    def record_window(self, instructions_retired: int, window_cycles: int) -> float:
+        """Close a window: compute IPC and return IPC_Var(prev, cur)."""
+        self.previous_ipc = self.current_ipc
+        self.current_ipc = instructions_retired / max(1, window_cycles)
+        if self.previous_ipc <= 0.0:
+            return 0.0
+        return (self.current_ipc - self.previous_ipc) / self.previous_ipc
+
+
+@dataclass
+class PerCTAInfo:
+    """One row of the Per-CTA Info table (Figure 8)."""
+
+    act: bool = True                    # ACT: scheduling status
+    frn: Optional[int] = None           # First Register Number
+    backup_address: Optional[int] = None  # BA
+    backup_complete: bool = False       # C bit
+
+
+class CTAManager:
+    """Tracks per-CTA register/backup bookkeeping."""
+
+    def __init__(self, regs_per_cta: int) -> None:
+        self.regs_per_cta = regs_per_cta  # Common Info: #reg
+        self.largest_register_number = 0  # Common Info: LRN
+        self.table: dict[int, PerCTAInfo] = {}
+
+    def register_launch(self, slot: int, first_register: int) -> None:
+        self.table[slot] = PerCTAInfo(act=True, frn=first_register)
+        self._refresh_lrn()
+
+    def register_finish(self, slot: int) -> None:
+        self.table.pop(slot, None)
+        self._refresh_lrn()
+
+    def mark_throttled(self, slot: int, backup_address: int) -> None:
+        info = self.table[slot]
+        info.act = False
+        info.backup_address = backup_address
+        info.backup_complete = False
+
+    def mark_backup_complete(self, slot: int) -> None:
+        info = self.table[slot]
+        info.backup_complete = True
+        info.frn = None
+        self._refresh_lrn()
+
+    def mark_reactivated(self, slot: int, first_register: int) -> None:
+        info = self.table[slot]
+        info.act = True
+        info.frn = first_register
+        info.backup_address = None
+        info.backup_complete = False
+        self._refresh_lrn()
+
+    def _refresh_lrn(self) -> None:
+        """LRN: the largest register number held by an active CTA."""
+        lrn = 0
+        for info in self.table.values():
+            if info.act and info.frn is not None:
+                lrn = max(lrn, info.frn + self.regs_per_cta - 1)
+        self.largest_register_number = lrn
+
+    # -- queries -------------------------------------------------------------
+    def active_slots(self) -> list[int]:
+        return [slot for slot, info in self.table.items() if info.act]
+
+    def inactive_slots(self) -> list[int]:
+        return [slot for slot, info in self.table.items() if not info.act]
+
+    def restorable_slots(self) -> list[int]:
+        return [
+            slot
+            for slot, info in self.table.items()
+            if not info.act and info.backup_complete
+        ]
+
+    def throttle_candidate(self) -> Optional[int]:
+        """Paper: throttle the active CTA with the largest hardware id."""
+        active = self.active_slots()
+        return max(active) if active else None
+
+
+class SearchPhase(enum.Enum):
+    SEARCHING = "searching"      # descending one CTA per window
+    RECOVERING = "recovering"    # climbing back to the best-known count
+    SETTLED = "settled"          # steady state, hysteresis thresholds
+
+
+class CTAThrottleController:
+    """The decision layer combining the IPC monitor and bounds.
+
+    The paper's raw rule ("IPC_Var above +10% -> throttle one more;
+    below -10% -> reactivate one") assumes each single-CTA step moves
+    IPC by more than the bounds. On finer-grained machines a profitable
+    descent of many small steps never clears +10% per step, and a CTA
+    *completing* (which re-schedules a throttled CTA outside the
+    controller) produces IPC jumps the raw rule misreads as throttle
+    success. This controller keeps the paper's window/threshold
+    machinery but runs it as a hill-climb with memory:
+
+    * SEARCHING — after monitoring classifies the kernel as cache
+      sensitive, throttle one CTA per window while the window IPC stays
+      within ``lower_bound`` of the best IPC observed so far (the
+      paper's proactive-throttling assumption, applied repeatedly).
+    * RECOVERING — IPC fell below the tolerance: reactivate one CTA per
+      window until back at the best-known active count.
+    * SETTLED — hold; only a drop below the tolerance re-opens
+      recovery (a throttled CTA handed back by a completion already
+      re-enters through the scheduler, not the controller).
+    """
+
+    def __init__(
+        self,
+        upper_bound: float = 0.10,
+        lower_bound: float = -0.10,
+        min_active_ctas: int = 1,
+    ) -> None:
+        if lower_bound >= upper_bound:
+            raise ValueError("lower bound must be below upper bound")
+        self.upper_bound = upper_bound
+        self.lower_bound = lower_bound
+        self.min_active_ctas = min_active_ctas
+        self.monitor = IPCMonitor()
+        self.decisions: list[ThrottleDecision] = []
+        self.phase = SearchPhase.SEARCHING
+        self.best_ipc = 0.0
+        self.best_active = 0
+        self._last_judged_ipc: Optional[float] = None
+
+    def decide(
+        self,
+        instructions_retired: int,
+        window_cycles: int,
+        active_ctas: int,
+        inactive_ctas: int,
+        record_only: bool = False,
+    ) -> ThrottleDecision:
+        """Close a window and decide the next throttling action.
+
+        ``record_only`` windows (a CTA completed, so CTA counts moved
+        for reasons unrelated to throttling) update the IPC history but
+        never act on it.
+        """
+        self.monitor.record_window(instructions_retired, window_cycles)
+        ipc = self.monitor.current_ipc
+        if ipc > self.best_ipc:
+            self.best_ipc = ipc
+            self.best_active = active_ctas
+        decision = ThrottleDecision.HOLD
+        if not record_only:
+            decision = self._act(ipc, active_ctas, inactive_ctas)
+        self.decisions.append(decision)
+        return decision
+
+    def _act(self, ipc: float, active_ctas: int, inactive_ctas: int) -> ThrottleDecision:
+        tolerated = self.best_ipc * (1.0 + self.lower_bound)
+        previous = self._last_judged_ipc
+        self._last_judged_ipc = ipc
+        if self.phase is SearchPhase.SEARCHING:
+            # Descend only while within tolerance of the best IPC AND
+            # the last step did not clearly regress — without the
+            # progress check a string of small losses bleeds all the
+            # way to the -10% bound before recovery kicks in.
+            making_progress = previous is None or ipc >= 0.98 * previous
+            if ipc >= tolerated and making_progress and active_ctas > self.min_active_ctas:
+                return ThrottleDecision.THROTTLE
+            self.phase = SearchPhase.RECOVERING
+        if self.phase is SearchPhase.RECOVERING:
+            if active_ctas < self.best_active and inactive_ctas > 0:
+                return ThrottleDecision.REACTIVATE
+            self.phase = SearchPhase.SETTLED
+            return ThrottleDecision.HOLD
+        # SETTLED: re-open recovery only on a sustained drop.
+        if ipc < tolerated and active_ctas < self.best_active and inactive_ctas > 0:
+            self.phase = SearchPhase.RECOVERING
+            return ThrottleDecision.REACTIVATE
+        return ThrottleDecision.HOLD

@@ -1,0 +1,40 @@
+"""GPU execution substrate: SMs, warps, CTAs, GTO schedulers, banked
+register file, and the whole-device clock loop."""
+
+from repro.gpu.extension import SMExtension
+from repro.gpu.gpu import (
+    GPU,
+    SimulationResult,
+    dynamically_unused_register_bytes,
+    run_kernel,
+    statically_unused_register_bytes,
+)
+from repro.gpu.isa import Instruction, Op, alu, exit_inst, hashed_pc, load, store
+from repro.gpu.register_file import RegisterFile
+from repro.gpu.scheduler import GTOScheduler
+from repro.gpu.sm import SM
+from repro.gpu.trace import KernelTrace, from_instruction_lists
+from repro.gpu.warp import Warp, WarpState
+
+__all__ = [
+    "GPU",
+    "GTOScheduler",
+    "Instruction",
+    "KernelTrace",
+    "Op",
+    "RegisterFile",
+    "SM",
+    "SMExtension",
+    "SimulationResult",
+    "Warp",
+    "WarpState",
+    "alu",
+    "dynamically_unused_register_bytes",
+    "exit_inst",
+    "from_instruction_lists",
+    "hashed_pc",
+    "load",
+    "run_kernel",
+    "statically_unused_register_bytes",
+    "store",
+]

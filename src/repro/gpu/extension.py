@@ -1,0 +1,86 @@
+"""Extension hooks for SM memory-path policies.
+
+The baseline SM knows nothing about Linebacker, PCAL or CERF. Each of
+those techniques plugs into the SM through this interface:
+
+* Linebacker implements victim lookup/insert, per-load monitoring and
+  CTA throttling (``repro.core.linebacker``).
+* PCAL implements ``should_bypass`` plus token-count tuning
+  (``repro.baselines.pcal``).
+* CERF implements unselective register-file caching
+  (``repro.baselines.cerf``).
+
+All hooks default to no-ops so the baseline runs with a plain
+:class:`SMExtension`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.memory.cache import CacheLine
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.gpu.sm import SM
+    from repro.gpu.warp import Warp
+
+
+class SMExtension:
+    """No-op policy: the baseline GPU."""
+
+    def attach(self, sm: "SM") -> None:
+        """Called once when the SM is constructed."""
+        self.sm = sm
+
+    # -- per-cycle / windowing -------------------------------------------
+    def on_tick(self, cycle: int) -> None:
+        """Called at every SM tick (after responses, before issue)."""
+
+    # -- memory path -------------------------------------------------------
+    def should_bypass(self, warp: "Warp", line_addr: int, cycle: int) -> bool:
+        """PCAL hook: route this load around the L1 (no allocate)."""
+        return False
+
+    def lookup_victim(self, line_addr: int, hpc: int, cycle: int) -> Optional[int]:
+        """After an L1 miss: return the extra latency of a victim-cache
+        hit (VTT search + register read), or None on victim miss."""
+        return None
+
+    def on_l1_eviction(self, line_addr: int, line: CacheLine, cycle: int) -> None:
+        """An L1 line was replaced; Linebacker may preserve it."""
+
+    def on_load_outcome(
+        self,
+        pc: int,
+        hpc: int,
+        line_addr: int,
+        hit: bool,
+        cycle: int,
+        warp: "Warp | None" = None,
+    ) -> None:
+        """Per-load monitoring: ``hit`` covers L1 *or* victim-tag hits.
+        ``warp`` is the issuer (CCWS keys lost-locality on it)."""
+
+    def on_store(self, line_addr: int, cycle: int) -> None:
+        """A store was executed; victim copies must be invalidated."""
+
+    def allocate_fill(self, line_addr: int) -> bool:
+        """Whether a returning miss should be allocated in L1."""
+        return True
+
+    # -- CTA lifecycle -----------------------------------------------------
+    def on_cta_launched(self, slot: int, cycle: int) -> None:
+        """A CTA was placed in ``slot`` and its registers allocated."""
+
+    def on_cta_finished(self, slot: int, cycle: int) -> None:
+        """The CTA in ``slot`` retired all warps (registers still held)."""
+
+    def try_reactivate_cta(self, cycle: int) -> bool:
+        """Give the policy a chance to re-schedule a throttled CTA
+        before the SM launches a fresh one. Returns True when a CTA
+        was (or is being) reactivated."""
+        return False
+
+    # -- end of simulation ---------------------------------------------------
+    def finalize(self, cycle: int) -> None:
+        """Called once when the SM drains."""

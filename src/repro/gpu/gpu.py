@@ -1,0 +1,214 @@
+"""Whole-GPU model: SMs sharing one memory subsystem, plus the kernel
+launcher that distributes the CTA grid across SMs.
+
+The global loop advances a shared clock to the earliest interesting
+cycle across SMs (each SM fast-forwards through cycles where no warp
+can issue), which keeps memory-bound simulation tractable in Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.config import WARP_REGISTER_BYTES, GPUConfig, SimulationConfig
+from repro.gpu.extension import SMExtension
+from repro.gpu.sm import SM
+from repro.gpu.stats import SMStats
+from repro.gpu.trace import KernelTrace
+from repro.memory.subsystem import MemorySubsystem, TrafficStats
+
+#: Builds one extension instance per SM (policies keep per-SM state).
+ExtensionFactory = Callable[[], SMExtension]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one kernel simulation."""
+
+    kernel_name: str
+    cycles: int
+    sm_stats: list[SMStats]
+    traffic: TrafficStats
+    dram_reads: int
+    dram_writes: int
+    l1_stats: list
+    rf_stats: list
+    extensions: list[SMExtension]
+    sms: list[SM] = field(default_factory=list, repr=False)
+
+    @property
+    def instructions(self) -> int:
+        return sum(s.instructions for s in self.sm_stats)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def l1_hit_ratio(self) -> float:
+        hits = sum(s.l1_hits for s in self.sm_stats)
+        total = sum(
+            s.l1_hits + s.l1_misses + s.victim_hits + s.bypasses for s in self.sm_stats
+        )
+        return hits / total if total else 0.0
+
+    @property
+    def victim_hit_ratio(self) -> float:
+        """Fraction of requests served from the register file (Fig 13)."""
+        reg = sum(s.victim_hits for s in self.sm_stats)
+        total = sum(
+            s.l1_hits + s.l1_misses + s.victim_hits + s.bypasses for s in self.sm_stats
+        )
+        return reg / total if total else 0.0
+
+    @property
+    def request_breakdown(self) -> dict[str, float]:
+        """GPU-wide Figure 13 breakdown."""
+        keys = ("hit", "miss", "bypass", "reg_hit")
+        sums = dict.fromkeys(keys, 0)
+        for s in self.sm_stats:
+            sums["hit"] += s.l1_hits
+            sums["miss"] += s.l1_misses
+            sums["bypass"] += s.bypasses
+            sums["reg_hit"] += s.victim_hits
+        total = sum(sums.values())
+        if total == 0:
+            return dict.fromkeys(keys, 0.0)
+        return {k: v / total for k, v in sums.items()}
+
+    @property
+    def bank_conflicts(self) -> int:
+        return sum(rf.bank_conflicts for rf in self.rf_stats)
+
+    @property
+    def cold_miss_ratio(self) -> float:
+        accesses = sum(c.accesses for c in self.l1_stats)
+        cold = sum(c.cold_misses for c in self.l1_stats)
+        return cold / accesses if accesses else 0.0
+
+    @property
+    def capacity_conflict_miss_ratio(self) -> float:
+        accesses = sum(c.accesses for c in self.l1_stats)
+        cc = sum(c.capacity_conflict_misses for c in self.l1_stats)
+        return cc / accesses if accesses else 0.0
+
+
+class GPU:
+    """The full device: N SMs over a shared L2/DRAM."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        kernel: KernelTrace,
+        extension_factory: Optional[ExtensionFactory] = None,
+        max_concurrent_ctas: Optional[int] = None,
+        track_loads: bool = False,
+    ) -> None:
+        self.config = config
+        self.kernel = kernel
+        self.memory = MemorySubsystem(config.gpu)
+        self._next_grid_cta = 0
+
+        def cta_source() -> Optional[int]:
+            if self._next_grid_cta >= kernel.num_ctas:
+                return None
+            cta = self._next_grid_cta
+            self._next_grid_cta += 1
+            return cta
+
+        self.sms = [
+            SM(
+                sm_id=i,
+                config=config.gpu,
+                kernel=kernel,
+                memory=self.memory,
+                cta_source=cta_source,
+                extension=extension_factory() if extension_factory else None,
+                max_concurrent_ctas=max_concurrent_ctas,
+                track_loads=track_loads,
+                load_window=config.linebacker.window_cycles,
+            )
+            for i in range(config.gpu.num_sms)
+        ]
+
+    def run(self) -> SimulationResult:
+        """Run the kernel to completion (or the cycle cap).
+
+        Each SM caches its next interesting cycle ("hint"); an SM is
+        only ticked when the global clock reaches its hint, so fully
+        stalled SMs cost nothing per cycle. Hints can only change when
+        the owning SM ticks (all of an SM's events live on its own
+        heap), which makes the caching sound.
+        """
+        cycle = 0
+        max_cycles = self.config.max_cycles
+        active = {sm.sm_id: sm for sm in self.sms if not sm.done}
+        hints = {sm_id: 0.0 for sm_id in active}
+        while active and cycle < max_cycles:
+            next_cycle = min(hints.values())
+            if next_cycle == float("inf"):
+                break
+            cycle = max(cycle + 1, int(next_cycle))
+            if cycle > max_cycles:
+                cycle = max_cycles
+                break
+            finished = []
+            for sm_id, sm in active.items():
+                if hints[sm_id] <= cycle:
+                    sm.tick(cycle)
+                    if sm.done:
+                        finished.append(sm_id)
+                    else:
+                        hints[sm_id] = sm.next_event_cycle(cycle)
+            for sm_id in finished:
+                del active[sm_id]
+                del hints[sm_id]
+        for sm in self.sms:
+            sm.finalize(cycle)
+        return SimulationResult(
+            kernel_name=self.kernel.name,
+            cycles=cycle,
+            sm_stats=[sm.stats for sm in self.sms],
+            traffic=self.memory.traffic,
+            dram_reads=self.memory.dram.stats.reads,
+            dram_writes=self.memory.dram.stats.writes,
+            l1_stats=[sm.l1.stats for sm in self.sms],
+            rf_stats=[sm.register_file.stats for sm in self.sms],
+            extensions=[sm.extension for sm in self.sms],
+            sms=self.sms,
+        )
+
+
+def statically_unused_register_bytes(config: GPUConfig, kernel: KernelTrace) -> int:
+    """SUR: register space no CTA ever occupies at full occupancy."""
+    occupancy = SM.hardware_occupancy(config, kernel)
+    used = occupancy * kernel.warp_registers_per_cta * WARP_REGISTER_BYTES
+    return max(0, config.register_file_bytes - used)
+
+
+def dynamically_unused_register_bytes(
+    config: GPUConfig, kernel: KernelTrace, active_ctas: int
+) -> int:
+    """DUR: register space of CTAs a throttling scheme keeps inactive."""
+    occupancy = SM.hardware_occupancy(config, kernel)
+    inactive = max(0, occupancy - active_ctas)
+    return inactive * kernel.warp_registers_per_cta * WARP_REGISTER_BYTES
+
+
+def run_kernel(
+    config: SimulationConfig,
+    kernel: KernelTrace,
+    extension_factory: Optional[ExtensionFactory] = None,
+    max_concurrent_ctas: Optional[int] = None,
+    track_loads: bool = False,
+) -> SimulationResult:
+    """Convenience wrapper: build a GPU and run one kernel."""
+    gpu = GPU(
+        config,
+        kernel,
+        extension_factory=extension_factory,
+        max_concurrent_ctas=max_concurrent_ctas,
+        track_loads=track_loads,
+    )
+    return gpu.run()

@@ -1,0 +1,93 @@
+"""Minimal instruction set for the trace-driven GPU model.
+
+The simulator is trace driven: each warp executes a pre-generated
+sequence of :class:`Instruction` objects. Only the properties that the
+memory system and schedulers care about are modeled — opcode class,
+the static PC (which identifies the static load for Linebacker's Load
+Monitor), the coalesced line addresses touched by a memory operation,
+and the number of register operands (which drives register-file bank
+traffic).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+
+class Op(enum.Enum):
+    """Instruction classes distinguished by the pipeline model."""
+
+    ALU = "alu"
+    LOAD = "load"
+    STORE = "store"
+    EXIT = "exit"
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """One dynamic instruction in a warp's trace.
+
+    Attributes:
+        op: Instruction class.
+        pc: Static program counter. All dynamic instances of the same
+            static instruction share a PC; Linebacker's per-load
+            locality monitoring keys off this value.
+        line_addrs: For LOAD/STORE, the 128-byte-aligned line addresses
+            produced after coalescing the 32 lanes. A fully coalesced
+            access yields one address; a divergent one yields several.
+        operands: Number of register operands read/written — used by
+            the register-file bank-conflict model.
+    """
+
+    op: Op
+    pc: int = 0
+    line_addrs: tuple[int, ...] = ()
+    operands: int = 3
+
+    def __post_init__(self) -> None:
+        if self.op in (Op.LOAD, Op.STORE) and not self.line_addrs:
+            raise ValueError(f"{self.op} instruction requires line addresses")
+
+    @property
+    def is_memory(self) -> bool:
+        return self.op in (Op.LOAD, Op.STORE)
+
+
+def alu(pc: int = 0, operands: int = 3) -> Instruction:
+    """Convenience constructor for an arithmetic instruction."""
+    return Instruction(op=Op.ALU, pc=pc, operands=operands)
+
+
+def load(pc: int, line_addrs: Sequence[int], operands: int = 2) -> Instruction:
+    """Convenience constructor for a global load instruction."""
+    return Instruction(op=Op.LOAD, pc=pc, line_addrs=tuple(line_addrs), operands=operands)
+
+
+def store(pc: int, line_addrs: Sequence[int], operands: int = 2) -> Instruction:
+    """Convenience constructor for a global store instruction."""
+    return Instruction(op=Op.STORE, pc=pc, line_addrs=tuple(line_addrs), operands=operands)
+
+
+def exit_inst() -> Instruction:
+    """Terminates a warp's trace."""
+    return Instruction(op=Op.EXIT)
+
+
+def hashed_pc(pc: int, bits: int = 5) -> int:
+    """XOR-fold a 32-bit PC into ``bits`` bits (paper Section 4, LM).
+
+    The paper observes GPU kernels have very few global loads (usually
+    fewer than 32), so a 5-bit XOR fold of the PC is enough to keep
+    per-load behaviour separated.
+    """
+    if bits <= 0:
+        raise ValueError("hashed PC width must be positive")
+    mask = (1 << bits) - 1
+    value = pc & 0xFFFFFFFF
+    folded = 0
+    while value:
+        folded ^= value & mask
+        value >>= bits
+    return folded

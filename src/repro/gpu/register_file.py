@@ -1,0 +1,144 @@
+"""Banked register file of one SM.
+
+The 256 KB register file holds 2048 warp-wide registers (128 bytes
+each — exactly one L1 cache line, the size match Linebacker exploits).
+The model covers the three behaviours the paper evaluates:
+
+* **allocation** — contiguous ranges of physical warp registers are
+  assigned to CTAs at launch and freed at completion/backup, which
+  determines how much register space is statically (SUR) and
+  dynamically (DUR) unused;
+* **contents** — each register stores an opaque token so backup/restore
+  and victim-line reads can be checked for value correctness;
+* **bank conflicts** — registers are interleaved across banks; accesses
+  within the same cycle to the same bank beyond its port count are
+  conflicts (paper Figure 16 compares CERF's and Linebacker's conflict
+  counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.config import WARP_REGISTER_BYTES
+
+
+@dataclass
+class RegisterFileStats:
+    reads: int = 0
+    writes: int = 0
+    bank_conflicts: int = 0
+
+
+class RegisterFile:
+    """Physical warp-register storage with bank-conflict accounting."""
+
+    def __init__(self, size_bytes: int, num_banks: int = 16, ports_per_bank: int = 1) -> None:
+        if size_bytes % WARP_REGISTER_BYTES != 0:
+            raise ValueError("register file size must be a multiple of 128 B")
+        self.num_registers = size_bytes // WARP_REGISTER_BYTES
+        self.num_banks = num_banks
+        self.ports_per_bank = ports_per_bank
+        self._values: list[Optional[int]] = [None] * self.num_registers
+        self._owner: list[Optional[int]] = [None] * self.num_registers  # CTA slot or None
+        self._free_base = 0
+        self.stats = RegisterFileStats()
+        # Per-cycle bank usage for conflict detection.
+        self._usage_cycle = -1
+        self._bank_use: dict[int, int] = {}
+
+    # -- allocation --------------------------------------------------------
+    def allocate(self, num_regs: int, owner: int) -> Optional[range]:
+        """Allocate ``num_regs`` contiguous registers to ``owner``.
+
+        Uses first-fit over free runs. Returns the allocated range or
+        None when no contiguous run is available.
+        """
+        run_start = None
+        run_len = 0
+        for idx in range(self.num_registers):
+            if self._owner[idx] is None:
+                if run_start is None:
+                    run_start = idx
+                run_len += 1
+                if run_len == num_regs:
+                    rng = range(run_start, run_start + num_regs)
+                    for r in rng:
+                        self._owner[r] = owner
+                    return rng
+            else:
+                run_start = None
+                run_len = 0
+        return None
+
+    def free(self, regs: Iterable[int]) -> None:
+        for r in regs:
+            self._owner[r] = None
+            self._values[r] = None
+
+    def owner_of(self, reg: int) -> Optional[int]:
+        return self._owner[reg]
+
+    def allocated_count(self) -> int:
+        return sum(1 for o in self._owner if o is not None)
+
+    def unused_registers(self) -> int:
+        return self.num_registers - self.allocated_count()
+
+    def unused_bytes(self) -> int:
+        return self.unused_registers() * WARP_REGISTER_BYTES
+
+    # -- data access ---------------------------------------------------------
+    def read(self, reg: int, cycle: int = 0) -> Optional[int]:
+        self._account(reg, cycle)
+        self.stats.reads += 1
+        return self._values[reg]
+
+    def write(self, reg: int, value: Optional[int], cycle: int = 0) -> None:
+        self._account(reg, cycle)
+        self.stats.writes += 1
+        self._values[reg] = value
+
+    def peek(self, reg: int) -> Optional[int]:
+        """Read without port/bank accounting (testing/introspection)."""
+        return self._values[reg]
+
+    # -- bank-conflict model ---------------------------------------------
+    def bank_of(self, reg: int) -> int:
+        return reg % self.num_banks
+
+    def _account(self, reg: int, cycle: int) -> None:
+        if cycle != self._usage_cycle:
+            self._usage_cycle = cycle
+            self._bank_use = {}
+        bank = self.bank_of(reg)
+        used = self._bank_use.get(bank, 0)
+        if used >= self.ports_per_bank:
+            self.stats.bank_conflicts += 1
+        self._bank_use[bank] = used + 1
+
+    def account_operand_traffic(self, num_operands: int, base_reg: int, cycle: int) -> int:
+        """Account bank accesses for an instruction's register operands.
+
+        Returns the number of conflicts this instruction generated.
+        Operand registers are modeled as consecutive registers starting
+        at ``base_reg`` (the warp's allocation base), which reproduces
+        realistic bank spreading for interleaved allocation.
+        """
+        stats = self.stats
+        before = stats.bank_conflicts
+        if cycle != self._usage_cycle:
+            self._usage_cycle = cycle
+            self._bank_use = {}
+        bank_use = self._bank_use
+        num_banks = self.num_banks
+        ports = self.ports_per_bank
+        for i in range(num_operands):
+            bank = (base_reg + i) % num_banks
+            used = bank_use.get(bank, 0)
+            if used >= ports:
+                stats.bank_conflicts += 1
+            bank_use[bank] = used + 1
+        stats.reads += num_operands
+        return stats.bank_conflicts - before

@@ -1,0 +1,357 @@
+"""Streaming multiprocessor (SM) model.
+
+The SM executes resident CTAs' warps through four GTO schedulers,
+a banked register file, and an L1 data cache with MSHRs in front of
+the shared memory subsystem. Memory-path policies (Linebacker, PCAL,
+CERF) plug in through :class:`repro.gpu.extension.SMExtension`.
+
+The clock is cycle-driven with event fast-forward: when no warp can
+issue, the SM's next interesting cycle is the earliest pending memory
+response, so memory-bound regions cost O(events), not O(cycles).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Optional
+
+from repro.config import GPUConfig
+from repro.gpu.cta import CTA, CTAState
+from repro.gpu.extension import SMExtension
+from repro.gpu.isa import Instruction, Op, hashed_pc
+from repro.gpu.register_file import RegisterFile
+from repro.gpu.scheduler import GTOScheduler
+from repro.gpu.stats import LoadTracker, SMStats
+from repro.gpu.trace import KernelTrace
+from repro.gpu.warp import Warp, WarpState
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.mshr import MSHRFile
+from repro.memory.subsystem import MemorySubsystem
+
+#: A source of grid CTA ids: returns the next unlaunched CTA id or None.
+CTASource = Callable[[], Optional[int]]
+
+_NO_EVENT = float("inf")
+
+
+class SM:
+    """One streaming multiprocessor."""
+
+    def __init__(
+        self,
+        sm_id: int,
+        config: GPUConfig,
+        kernel: KernelTrace,
+        memory: MemorySubsystem,
+        cta_source: CTASource,
+        extension: Optional[SMExtension] = None,
+        max_concurrent_ctas: Optional[int] = None,
+        track_loads: bool = False,
+        load_window: int = 50_000,
+    ) -> None:
+        self.sm_id = sm_id
+        self.config = config
+        self.kernel = kernel
+        self.memory = memory
+        self.cta_source = cta_source
+        self.extension = extension or SMExtension()
+
+        self.register_file = RegisterFile(
+            config.register_file_bytes,
+            num_banks=config.register_banks,
+            ports_per_bank=config.register_bank_ports,
+        )
+        self.l1 = SetAssociativeCache(
+            config.l1_size_bytes,
+            config.l1_assoc,
+            config.l1_line_bytes,
+        )
+        self.mshr = MSHRFile(config.l1_mshrs)
+        self.schedulers = [GTOScheduler(i) for i in range(config.num_schedulers)]
+        self.stats = SMStats()
+        self.load_tracker = LoadTracker(load_window) if track_loads else None
+
+        self.ctas: dict[int, CTA] = {}
+        self._next_slot = 0
+        self._launch_counter = itertools.count()
+        self._event_seq = itertools.count()
+        #: Heap of (ready_cycle, seq, kind, payload).
+        self._events: list[tuple[int, int, str, object]] = []
+        self.cycle = 0
+        self._drained = False
+
+        self.occupancy_limit = self.hardware_occupancy(config, kernel)
+        if max_concurrent_ctas is not None:
+            self.occupancy_limit = min(self.occupancy_limit, max_concurrent_ctas)
+
+        self.extension.attach(self)
+        self._fill_occupancy(cycle=0)
+
+    # ------------------------------------------------------------------
+    # Occupancy and CTA lifecycle
+    # ------------------------------------------------------------------
+    @staticmethod
+    def hardware_occupancy(config: GPUConfig, kernel: KernelTrace) -> int:
+        """Max concurrent CTAs per SM from the hardware limits (Table 1)."""
+        threads_per_cta = kernel.warps_per_cta * config.simd_width
+        limits = [
+            config.max_ctas_per_sm,
+            config.max_threads_per_sm // threads_per_cta,
+            config.max_warps_per_sm // kernel.warps_per_cta,
+            (config.register_file_bytes // 128) // max(1, kernel.warp_registers_per_cta),
+        ]
+        if kernel.shared_mem_per_cta > 0:
+            limits.append(config.shared_memory_bytes // kernel.shared_mem_per_cta)
+        return max(1, min(limits))
+
+    def _fill_occupancy(self, cycle: int) -> None:
+        while len(self.ctas) < self.occupancy_limit:
+            if not self._launch_next_cta(cycle):
+                break
+
+    def _launch_next_cta(self, cycle: int) -> bool:
+        grid_id = self.cta_source()
+        if grid_id is None:
+            return False
+        slot = self._next_slot
+        self._next_slot += 1
+        regs = self.register_file.allocate(self.kernel.warp_registers_per_cta, owner=slot)
+        if regs is None:
+            raise RuntimeError(
+                f"SM{self.sm_id}: register allocation failed for CTA slot {slot}"
+            )
+        # Initialize register contents with per-register tokens so that
+        # backup/restore round-trips are checkable end to end.
+        for r in regs:
+            self.register_file.write(r, self._register_token(slot, r), cycle=-1)
+        warps = []
+        for w in range(self.kernel.warps_per_cta):
+            warp = Warp(
+                warp_id=slot * self.kernel.warps_per_cta + w,
+                cta_slot=slot,
+                launch_order=next(self._launch_counter),
+                trace=self.kernel.warp_trace(grid_id, w),
+                base_register=regs.start + w * self.kernel.warp_registers_per_warp,
+                max_outstanding=self.config.max_outstanding_loads,
+            )
+            warps.append(warp)
+            self.schedulers[warp.warp_id % len(self.schedulers)].add_warp(warp)
+        self.ctas[slot] = CTA(
+            slot=slot, grid_cta_id=grid_id, warps=warps, register_range=regs
+        )
+        self.extension.on_cta_launched(slot, cycle)
+        return True
+
+    @staticmethod
+    def _register_token(slot: int, reg: int) -> int:
+        """Deterministic register content token for correctness checks."""
+        return (slot << 20) ^ (reg * 2654435761 & 0xFFFFF)
+
+    def _complete_cta(self, cta: CTA, cycle: int) -> None:
+        cta.state = CTAState.FINISHED
+        self.extension.on_cta_finished(cta.slot, cycle)
+        if cta.register_range is not None:
+            self.register_file.free(cta.register_range)
+            cta.register_range = None
+        del self.ctas[cta.slot]
+        for scheduler in self.schedulers:
+            scheduler.remove_finished()
+        # Paper Section 3.2: when an active CTA finishes, a previously
+        # throttled CTA is re-scheduled in priority; only if there is
+        # none is a new CTA fetched.
+        if not self.extension.try_reactivate_cta(cycle):
+            self._launch_next_cta(cycle)
+
+    # ------------------------------------------------------------------
+    # Event plumbing
+    # ------------------------------------------------------------------
+    def schedule_event(self, ready_cycle: int, kind: str, payload: object) -> None:
+        heapq.heappush(self._events, (ready_cycle, next(self._event_seq), kind, payload))
+
+    def _process_events(self, cycle: int) -> None:
+        while self._events and self._events[0][0] <= cycle:
+            ready, _, kind, payload = heapq.heappop(self._events)
+            if kind == "fill":
+                self._handle_fill(payload, ready)  # type: ignore[arg-type]
+            elif kind == "wake":
+                payload.memory_response(ready)  # type: ignore[union-attr]
+            elif kind == "callback":
+                payload(ready)  # type: ignore[operator]
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown event kind {kind!r}")
+
+    def _handle_fill(self, line_addr: int, cycle: int) -> None:
+        waiters = self.mshr.release(line_addr)
+        if self.extension.allocate_fill(line_addr):
+            hpc = waiters[0][1] if waiters else 0
+            owner = waiters[0][0].warp_id if waiters else -1
+            evicted = self.l1.fill(line_addr, token=line_addr, hpc=hpc, owner=owner)
+            if evicted is not None:
+                self.extension.on_l1_eviction(evicted[0], evicted[1], cycle)
+        for warp, _hpc in waiters:
+            warp.memory_response(cycle)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        """Advance the SM to ``cycle``: deliver responses, then issue."""
+        self.cycle = cycle
+        self._process_events(cycle)
+        self.extension.on_tick(cycle)
+        for scheduler in self.schedulers:
+            warp = scheduler.pick(cycle)
+            if warp is None:
+                continue
+            inst = warp.peek()
+            if inst is None:
+                continue
+            issued = self._issue(warp, inst, cycle)
+            if issued:
+                scheduler.note_issue()
+
+    def _issue(self, warp: Warp, inst: Instruction, cycle: int) -> bool:
+        """Execute one instruction; returns False when it must retry."""
+        if inst.op is Op.ALU:
+            warp.ready_cycle = cycle + self.config.alu_latency
+            self._retire(warp, inst, cycle)
+            return True
+        if inst.op is Op.EXIT:
+            self._retire(warp, inst, cycle)
+            warp.state = WarpState.FINISHED
+            cta = self.ctas.get(warp.cta_slot)
+            if cta is not None and cta.all_warps_finished():
+                self._complete_cta(cta, cycle)
+            return True
+        if inst.op is Op.STORE:
+            self._execute_store(warp, inst, cycle)
+            return True
+        return self._execute_load(warp, inst, cycle)
+
+    def _retire(self, warp: Warp, inst: Instruction, cycle: int) -> None:
+        self.stats.instructions += 1
+        if inst.operands:
+            self.register_file.account_operand_traffic(
+                inst.operands, warp.base_register, cycle
+            )
+        warp.retire_current()
+
+    def _execute_store(self, warp: Warp, inst: Instruction, cycle: int) -> None:
+        self.stats.stores += 1
+        for line_addr in inst.line_addrs:
+            self.stats.mem_requests += 1
+            self.l1.write_access(line_addr)
+            self.extension.on_store(line_addr, cycle)
+            self.memory.write_line(line_addr, cycle, sm_id=self.sm_id)
+        # Stores do not block the warp (fire and forget down the
+        # write-through path); a small issue cost applies.
+        warp.ready_cycle = cycle + 1
+        self._retire(warp, inst, cycle)
+
+    def _execute_load(self, warp: Warp, inst: Instruction, cycle: int) -> bool:
+        """Issue a load; may block the warp on outstanding lines."""
+        cfg = self.config
+        # First pass: every line must be admissible (MSHR space) or the
+        # instruction replays without partial side effects. The replay
+        # backoff models the LSU's replay-queue interval and avoids
+        # burning an issue slot every cycle while the MSHRs drain.
+        addrs = inst.line_addrs
+        free_mshrs = self.mshr.capacity - self.mshr.occupancy
+        if len(addrs) == 1:
+            a = addrs[0]
+            needs_mshr = self.l1.probe(a) is None and not self.mshr.lookup(a)
+            admissible = not needs_mshr or free_mshrs >= 1
+        else:
+            needed = sum(
+                1
+                for a in addrs
+                if self.l1.probe(a) is None and not self.mshr.lookup(a)
+            )
+            admissible = needed <= free_mshrs
+        if not admissible:
+            self.mshr.stalls += 1
+            warp.ready_cycle = cycle + 4
+            return False
+
+        hpc = hashed_pc(inst.pc)
+        self.stats.loads += 1
+        outstanding = 0
+        for line_addr in inst.line_addrs:
+            self.stats.mem_requests += 1
+            outstanding += 1
+            if self.extension.should_bypass(warp, line_addr, cycle):
+                self.stats.bypasses += 1
+                ready = self.memory.fetch_line(line_addr, cycle, sm_id=self.sm_id)
+                self.schedule_event(ready, "wake", warp)
+                self._track_load(inst.pc, line_addr, hit=False, cycle=cycle)
+                self.extension.on_load_outcome(inst.pc, hpc, line_addr, False, cycle, warp)
+                continue
+
+            line = self.l1.lookup(line_addr, hpc=hpc, owner=warp.warp_id)
+            if line is not None:
+                self.stats.l1_hits += 1
+                self.schedule_event(cycle + cfg.l1_hit_latency, "wake", warp)
+                self._track_load(inst.pc, line_addr, hit=True, cycle=cycle)
+                self.extension.on_load_outcome(inst.pc, hpc, line_addr, True, cycle, warp)
+                continue
+
+            victim_latency = self.extension.lookup_victim(line_addr, hpc, cycle)
+            if victim_latency is not None:
+                self.stats.victim_hits += 1
+                self.schedule_event(cycle + victim_latency, "wake", warp)
+                self._track_load(inst.pc, line_addr, hit=True, cycle=cycle)
+                self.extension.on_load_outcome(inst.pc, hpc, line_addr, True, cycle, warp)
+                continue
+
+            self.stats.l1_misses += 1
+            self._track_load(inst.pc, line_addr, hit=False, cycle=cycle)
+            self.extension.on_load_outcome(inst.pc, hpc, line_addr, False, cycle, warp)
+            new_fetch = self.mshr.allocate(line_addr, (warp, hpc))
+            if new_fetch:
+                ready = self.memory.fetch_line(line_addr, cycle, sm_id=self.sm_id)
+                self.schedule_event(ready, "fill", line_addr)
+
+        self._retire(warp, inst, cycle)
+        # Scoreboarding: every line (hit or miss) is an outstanding
+        # response; the warp only blocks past its outstanding limit,
+        # so hit-latency loads pipeline instead of serializing.
+        if outstanding:
+            warp.block_on_memory(outstanding)
+        warp.ready_cycle = max(warp.ready_cycle, cycle + 1)
+        return True
+
+    def _track_load(self, pc: int, line_addr: int, hit: bool, cycle: int) -> None:
+        if self.load_tracker is not None:
+            self.load_tracker.record(pc, line_addr, hit, cycle)
+
+    # ------------------------------------------------------------------
+    # Clocking interface for the GPU-level loop
+    # ------------------------------------------------------------------
+    def next_event_cycle(self, cycle: int) -> float:
+        """Earliest cycle at which this SM has work to do."""
+        if self.done:
+            return _NO_EVENT
+        best: float = _NO_EVENT
+        for scheduler in self.schedulers:
+            nxt = scheduler.next_ready_cycle(cycle - 1)
+            if nxt is not None:
+                best = min(best, nxt)
+        if self._events:
+            best = min(best, self._events[0][0])
+        if best is _NO_EVENT and not self.done:
+            # Deadlock guard: inactive CTAs with nothing pending.
+            best = cycle + 1
+        return best
+
+    @property
+    def done(self) -> bool:
+        return not self.ctas and not self._events
+
+    def finalize(self, cycle: int) -> None:
+        self.stats.cycles = cycle
+        if self.load_tracker is not None:
+            self.load_tracker.close_window()
+        if not self._drained:
+            self.extension.finalize(cycle)
+            self._drained = True

@@ -1,0 +1,159 @@
+"""Simulation statistics.
+
+Collects everything the paper's evaluation plots: IPC, the L1 request
+breakdown of Figure 13 (hit / miss / bypass / register-file "Reg hit"),
+per-load access tracking for the motivational Figures 2-3 (reused
+working sets, streaming data), register-file conflict counts
+(Figure 16), off-chip traffic (Figure 17) and energy inputs
+(Figure 18).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LoadBehavior:
+    """Per-static-load (per PC) access behaviour within a window."""
+
+    accesses: int = 0
+    hits: int = 0
+    lines_touched: set[int] = field(default_factory=set)
+    lines_reused: set[int] = field(default_factory=set)
+    _seen: set[int] = field(default_factory=set)
+
+    def record(self, line_addr: int, hit: bool) -> None:
+        self.accesses += 1
+        if hit:
+            self.hits += 1
+        if line_addr in self._seen:
+            self.lines_reused.add(line_addr)
+        else:
+            self._seen.add(line_addr)
+        self.lines_touched.add(line_addr)
+
+    @property
+    def miss_ratio(self) -> float:
+        return 1.0 - (self.hits / self.accesses) if self.accesses else 0.0
+
+    @property
+    def reused_bytes(self) -> int:
+        return len(self.lines_reused) * 128
+
+    @property
+    def touched_bytes(self) -> int:
+        return len(self.lines_touched) * 128
+
+    def reset_window(self) -> None:
+        """Start a new observation window (keeps nothing)."""
+        self.accesses = 0
+        self.hits = 0
+        self.lines_touched.clear()
+        self.lines_reused.clear()
+        self._seen.clear()
+
+
+@dataclass
+class SMStats:
+    """Per-SM counters."""
+
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    victim_hits: int = 0          # "Reg hit" in Figure 13
+    bypasses: int = 0             # PCAL-style L1 bypasses
+    mem_requests: int = 0
+    cycles: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def request_breakdown(self) -> dict[str, float]:
+        """Fractions for Figure 13: hit / miss / bypass / reg_hit."""
+        total = self.l1_hits + self.l1_misses + self.victim_hits + self.bypasses
+        if total == 0:
+            return {"hit": 0.0, "miss": 0.0, "bypass": 0.0, "reg_hit": 0.0}
+        return {
+            "hit": self.l1_hits / total,
+            "miss": self.l1_misses / total,
+            "bypass": self.bypasses / total,
+            "reg_hit": self.victim_hits / total,
+        }
+
+
+class LoadTracker:
+    """Window-based per-PC behaviour tracker (motivational Figures 2-3).
+
+    Tracks, per static load PC, the set of lines touched and re-touched
+    in the current window, and accumulates the per-window maxima the
+    paper plots ("per-SM working set ... re-accessed within 50000
+    cycles period").
+    """
+
+    def __init__(self, window_cycles: int = 50_000) -> None:
+        self.window_cycles = window_cycles
+        self.current: dict[int, LoadBehavior] = defaultdict(LoadBehavior)
+        self._window_start = 0
+        self.window_reused_bytes: dict[int, list[int]] = defaultdict(list)
+        self.window_streaming_bytes: list[int] = []
+        self.window_miss_ratios: dict[int, list[float]] = defaultdict(list)
+        self.total_accesses: dict[int, int] = defaultdict(int)
+
+    def record(self, pc: int, line_addr: int, hit: bool, cycle: int) -> None:
+        if cycle - self._window_start >= self.window_cycles:
+            self.close_window()
+            self._window_start = cycle
+        self.current[pc].record(line_addr, hit)
+        self.total_accesses[pc] += 1
+
+    def close_window(self) -> None:
+        """Fold the current window into the accumulated summaries."""
+        streaming_bytes = 0
+        for pc, behaviour in self.current.items():
+            if behaviour.accesses == 0:
+                continue
+            self.window_miss_ratios[pc].append(behaviour.miss_ratio)
+            if self.is_streaming_window(behaviour):
+                streaming_bytes += behaviour.touched_bytes
+            else:
+                self.window_reused_bytes[pc].append(behaviour.reused_bytes)
+            behaviour.reset_window()
+        self.window_streaming_bytes.append(streaming_bytes)
+
+    @staticmethod
+    def is_streaming_window(behaviour: LoadBehavior) -> bool:
+        """Paper: a load streams when its miss ratio with an *infinite*
+        cache exceeds 95% in a window — i.e. essentially no line is
+        touched twice. Windows with too few accesses to judge are not
+        classified as streaming."""
+        if behaviour.accesses < 16:
+            return False
+        reuse_ratio = len(behaviour.lines_reused) / max(1, len(behaviour.lines_touched))
+        first_touch_ratio = len(behaviour.lines_touched) / behaviour.accesses
+        return first_touch_ratio > 0.95 and reuse_ratio < 0.05
+
+    def top_loads_reused_working_set(self, top_n: int = 4) -> int:
+        """Aggregate reused working set (bytes) of the top-N
+        most-accessed non-streaming loads — paper Figure 2."""
+        candidates = [
+            (self.total_accesses[pc], pc)
+            for pc, sizes in self.window_reused_bytes.items()
+            if sizes
+        ]
+        candidates.sort(reverse=True)
+        total = 0
+        for _, pc in candidates[:top_n]:
+            sizes = self.window_reused_bytes[pc]
+            total += max(sizes)
+        return total
+
+    def mean_streaming_bytes(self) -> float:
+        """Average per-window streaming data size — paper Figure 3."""
+        sizes = [s for s in self.window_streaming_bytes if s >= 0]
+        return sum(sizes) / len(sizes) if sizes else 0.0

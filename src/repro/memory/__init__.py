@@ -1,0 +1,25 @@
+"""Memory hierarchy substrate: L1 cache machinery, MSHRs, shared L2,
+and a bandwidth/latency DRAM model."""
+
+from repro.memory.cache import CacheLine, CacheStats, SetAssociativeCache
+from repro.memory.dram import DRAMModel, DRAMStats
+from repro.memory.dram_timing import DRAMTimings, TimingDRAMModel
+from repro.memory.interconnect import Interconnect
+from repro.memory.l2 import L2Cache
+from repro.memory.mshr import MSHRFile
+from repro.memory.subsystem import MemorySubsystem, TrafficStats
+
+__all__ = [
+    "CacheLine",
+    "CacheStats",
+    "SetAssociativeCache",
+    "DRAMModel",
+    "DRAMStats",
+    "DRAMTimings",
+    "Interconnect",
+    "TimingDRAMModel",
+    "L2Cache",
+    "MSHRFile",
+    "MemorySubsystem",
+    "TrafficStats",
+]

@@ -1,0 +1,184 @@
+"""Set-associative cache with LRU replacement and eviction hooks.
+
+This models the L1 data cache of one SM (and, with different
+parameters, the shared L2). Lines are identified by 128-byte-aligned
+line addresses. Each line carries:
+
+* a data ``token`` — an opaque value used by the correctness tests to
+  prove that victim-cache hits return the data that was evicted, and
+* an ``hpc`` — the 5-bit hashed PC of the load that last touched the
+  line (the paper adds this field to every L1 line so Linebacker can
+  tell whether a victim line belongs to a selected high-locality load).
+
+The cache distinguishes cold misses (line never seen before) from
+capacity/conflict ("2C") misses (line was previously resident), which
+is exactly the classification behind the paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+@dataclass(slots=True)
+class CacheLine:
+    """One resident cache line.
+
+    ``owner`` is the warp id of the last accessor — CCWS's lost-
+    locality detection needs to know whether a re-reference to an
+    evicted line comes from the warp that lost it.
+    """
+
+    tag: int
+    token: int = 0
+    hpc: int = 0
+    owner: int = -1
+    last_use: int = 0
+    dirty: bool = False
+
+
+#: Called as eviction_hook(line_addr, line) when a valid line is replaced.
+EvictionHook = Callable[[int, CacheLine], None]
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    cold_misses: int = 0
+    capacity_conflict_misses: int = 0
+    evictions: int = 0
+    write_hits: int = 0
+    write_misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache keyed by line address."""
+
+    def __init__(
+        self,
+        size_bytes: int,
+        assoc: int,
+        line_bytes: int = 128,
+        eviction_hook: Optional[EvictionHook] = None,
+    ) -> None:
+        if size_bytes % (assoc * line_bytes) != 0:
+            raise ValueError("cache size must be a multiple of assoc * line size")
+        self.line_bytes = line_bytes
+        self.assoc = assoc
+        self.num_sets = size_bytes // (assoc * line_bytes)
+        if self.num_sets < 1:
+            raise ValueError("cache must have at least one set")
+        self._sets: list[dict[int, CacheLine]] = [dict() for _ in range(self.num_sets)]
+        self._ever_seen: set[int] = set()
+        self.eviction_hook = eviction_hook
+        self.stats = CacheStats()
+        self._clock = 0
+
+    # -- address helpers -------------------------------------------------
+    def set_index(self, line_addr: int) -> int:
+        return line_addr % self.num_sets
+
+    def tag_of(self, line_addr: int) -> int:
+        return line_addr // self.num_sets
+
+    # -- lookups ---------------------------------------------------------
+    def probe(self, line_addr: int) -> Optional[CacheLine]:
+        """Tag check without any state change (no LRU update, no stats)."""
+        return self._sets[self.set_index(line_addr)].get(self.tag_of(line_addr))
+
+    def lookup(self, line_addr: int, hpc: int = 0, owner: int = -1) -> Optional[CacheLine]:
+        """Read access: returns the line on hit (updating LRU, the
+        line's HPC field and owner), records hit/miss statistics."""
+        self._clock += 1
+        line = self.probe(line_addr)
+        if line is not None:
+            line.last_use = self._clock
+            line.hpc = hpc
+            line.owner = owner
+            self.stats.hits += 1
+            return line
+        self.stats.misses += 1
+        if line_addr in self._ever_seen:
+            self.stats.capacity_conflict_misses += 1
+        else:
+            self.stats.cold_misses += 1
+        return None
+
+    def fill(
+        self, line_addr: int, token: int = 0, hpc: int = 0, owner: int = -1
+    ) -> Optional[tuple[int, CacheLine]]:
+        """Allocate ``line_addr``, evicting the LRU way when the set is
+        full. Returns ``(evicted_addr, evicted_line)`` when an eviction
+        happened, else None. Filling a resident line refreshes it.
+        """
+        self._clock += 1
+        self._ever_seen.add(line_addr)
+        set_idx = self.set_index(line_addr)
+        ways = self._sets[set_idx]
+        tag = self.tag_of(line_addr)
+        if tag in ways:
+            line = ways[tag]
+            line.token = token
+            line.hpc = hpc
+            line.owner = owner
+            line.last_use = self._clock
+            return None
+
+        evicted: Optional[tuple[int, CacheLine]] = None
+        if len(ways) >= self.assoc:
+            victim_tag = min(ways, key=lambda t: ways[t].last_use)
+            victim = ways.pop(victim_tag)
+            victim_addr = victim_tag * self.num_sets + set_idx
+            self.stats.evictions += 1
+            evicted = (victim_addr, victim)
+            if self.eviction_hook is not None:
+                self.eviction_hook(victim_addr, victim)
+
+        ways[tag] = CacheLine(
+            tag=tag, token=token, hpc=hpc, owner=owner, last_use=self._clock
+        )
+        return evicted
+
+    def invalidate(self, line_addr: int) -> bool:
+        """Drop ``line_addr`` if resident (write-evict store policy)."""
+        ways = self._sets[self.set_index(line_addr)]
+        return ways.pop(self.tag_of(line_addr), None) is not None
+
+    def write_access(self, line_addr: int) -> bool:
+        """Store handling under write-evict / write-no-allocate.
+
+        On a hit the line is invalidated (evicted without the eviction
+        hook, per the paper: stores send data directly down the
+        hierarchy and never leave dirty data behind); on a miss nothing
+        is allocated. Returns True on hit.
+        """
+        if self.probe(line_addr) is not None:
+            self.invalidate(line_addr)
+            self.stats.write_hits += 1
+            return True
+        self.stats.write_misses += 1
+        return False
+
+    # -- introspection ---------------------------------------------------
+    def resident_lines(self) -> list[int]:
+        """All resident line addresses (for invariants in tests)."""
+        out = []
+        for set_idx, ways in enumerate(self._sets):
+            out.extend(tag * self.num_sets + set_idx for tag in ways)
+        return out
+
+    def occupancy(self) -> int:
+        return sum(len(ways) for ways in self._sets)
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()

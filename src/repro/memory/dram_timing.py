@@ -1,0 +1,171 @@
+"""Bank-level DRAM timing model (paper Table 1's timing row).
+
+Table 1 specifies the off-chip DRAM timing as
+``RCD=12, RP=12, RC=40, RRD=5.5, CL=12, WR=12, RAS=28`` (memory-clock
+cycles). The simple :class:`~repro.memory.dram.DRAMModel` folds all of
+this into one latency + a bandwidth server; this module models what
+those parameters actually mean:
+
+* the address space is interleaved across ``num_banks`` banks over
+  ``num_channels`` channels;
+* each bank has an open row (row buffer). A **row hit** pays only CAS
+  latency (CL); a **row miss** pays precharge (RP) + activate (RCD) +
+  CAS, and activates cannot violate tRC (activate-to-activate in the
+  same bank) or tRAS (activate-to-precharge);
+* activates to *different* banks of the same channel are separated by
+  tRRD;
+* each channel's data bus serializes bursts (the bandwidth component).
+
+The model is O(1) per access — per-bank state is just the open row and
+two timestamps — so it can replace the simple model wholesale
+(``GPUConfig.dram_model="timing"``). Streaming accesses enjoy high
+row-buffer locality; scattered victim/divergent traffic pays the
+row-miss penalty, which is exactly the asymmetry the simple model
+cannot express.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DRAMTimings:
+    """Timing parameters in core-clock cycles (paper Table 1)."""
+
+    rcd: float = 12.0   # RAS-to-CAS delay (activate -> read/write)
+    rp: float = 12.0    # row precharge
+    rc: float = 40.0    # activate-to-activate, same bank
+    rrd: float = 5.5    # activate-to-activate, different banks
+    cl: float = 12.0    # CAS latency
+    wr: float = 12.0    # write recovery
+    ras: float = 28.0   # activate-to-precharge minimum
+
+
+@dataclass
+class BankState:
+    """Row-buffer and timing state of one DRAM bank."""
+
+    open_row: int = -1
+    last_activate: float = -1e18   # for tRC/tRAS
+    ready_at: float = 0.0          # bank busy until (covers WR)
+
+
+@dataclass
+class TimingDRAMStats:
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    busy_cycles: float = 0.0
+
+    @property
+    def row_hit_ratio(self) -> float:
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0
+
+    @property
+    def bytes_transferred(self) -> int:
+        return (self.reads + self.writes) * 128
+
+    def utilization(self, total_cycles: int) -> float:
+        return self.busy_cycles / total_cycles if total_cycles else 0.0
+
+
+class TimingDRAMModel:
+    """Bank/row-buffer DRAM model, API-compatible with DRAMModel.
+
+    Address mapping (line-granular addresses): the low bits pick the
+    channel, the next bits the bank, and the remainder the row —
+    consecutive lines stripe across channels and banks, and
+    ``lines_per_row`` consecutive same-bank lines share a row.
+    """
+
+    def __init__(
+        self,
+        lines_per_cycle: float,
+        access_latency: int = 220,
+        line_bytes: int = 128,
+        timings: DRAMTimings | None = None,
+        num_channels: int = 8,
+        banks_per_channel: int = 16,
+        lines_per_row: int = 16,   # 2 KB rows of 128 B lines
+    ) -> None:
+        if lines_per_cycle <= 0:
+            raise ValueError("DRAM bandwidth must be positive")
+        if num_channels < 1 or banks_per_channel < 1:
+            raise ValueError("need at least one channel and bank")
+        self.timings = timings or DRAMTimings()
+        self.num_channels = num_channels
+        self.banks_per_channel = banks_per_channel
+        self.lines_per_row = lines_per_row
+        self.line_bytes = line_bytes
+        #: Bus occupancy per line per channel: the total device
+        #: bandwidth is split evenly over channels.
+        self.bus_cycles = num_channels / lines_per_cycle
+        #: Base transfer latency (interconnect + controller overhead);
+        #: the row/CAS components are added per access.
+        self.base_latency = max(0, access_latency - int(self.timings.cl))
+        self._banks = [
+            [BankState() for _ in range(banks_per_channel)]
+            for _ in range(num_channels)
+        ]
+        self._bus_free = [0.0] * num_channels
+        self._last_activate_in_channel = [-1e18] * num_channels
+        self.stats = TimingDRAMStats()
+
+    # -- address mapping ---------------------------------------------------
+    def channel_of(self, line_addr: int) -> int:
+        return line_addr % self.num_channels
+
+    def bank_of(self, line_addr: int) -> int:
+        return (line_addr // self.num_channels) % self.banks_per_channel
+
+    def row_of(self, line_addr: int) -> int:
+        per_channel = line_addr // self.num_channels
+        return per_channel // (self.banks_per_channel * self.lines_per_row)
+
+    # -- access ------------------------------------------------------------
+    def access(self, cycle: int, is_write: bool = False, line_addr: int = 0) -> int:
+        """Issue one line transfer; returns its completion cycle."""
+        t = self.timings
+        channel = self.channel_of(line_addr)
+        bank = self._banks[channel][self.bank_of(line_addr)]
+        row = self.row_of(line_addr)
+
+        start = max(float(cycle), bank.ready_at)
+        if bank.open_row == row:
+            self.stats.row_hits += 1
+            cas_done = start + t.cl
+        else:
+            self.stats.row_misses += 1
+            # Precharge may not start before tRAS after the activate,
+            # and the new activate must respect tRC (same bank) and
+            # tRRD (same channel).
+            precharge_start = max(start, bank.last_activate + t.ras)
+            activate_at = max(
+                precharge_start + t.rp,
+                bank.last_activate + t.rc,
+                self._last_activate_in_channel[channel] + t.rrd,
+            )
+            bank.last_activate = activate_at
+            self._last_activate_in_channel[channel] = activate_at
+            bank.open_row = row
+            cas_done = activate_at + t.rcd + t.cl
+
+        # Data bus: bursts serialize per channel.
+        bus_start = max(cas_done, self._bus_free[channel])
+        bus_done = bus_start + self.bus_cycles
+        self._bus_free[channel] = bus_done
+        self.stats.busy_cycles += self.bus_cycles
+
+        bank.ready_at = bus_done + (t.wr if is_write else 0.0)
+        if is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        return int(bus_done + self.base_latency)
+
+    def queue_delay(self, cycle: int) -> float:
+        """Worst-case current bus queueing delay across channels."""
+        return max(0.0, max(self._bus_free) - cycle)

@@ -1,0 +1,63 @@
+"""SM-to-L2 interconnect model.
+
+GPGPU-Sim routes memory requests from SMs through a crossbar to the
+memory partitions; under heavy miss traffic the network itself queues.
+This model captures that with two serialization points per request:
+
+* an **injection port** per SM (one request per ``injection_interval``
+  cycles), and
+* a **crossbar** shared by all SMs (aggregate request rate bound).
+
+Both directions share the same ports (replies ride the same model with
+the latency already folded into L2/DRAM response times). The model is
+O(1) per request and disabled by default (``GPUConfig.noc_enable``) —
+the L2 port server already provides the primary congestion signal; the
+NoC adds per-SM fairness effects (one SM cannot monopolize the L2
+port from a single injection port).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class InterconnectStats:
+    requests: int = 0
+    total_queue_cycles: float = 0.0
+
+    @property
+    def mean_queue_delay(self) -> float:
+        return self.total_queue_cycles / self.requests if self.requests else 0.0
+
+
+class Interconnect:
+    """Two-stage serialization: per-SM injection port + shared crossbar."""
+
+    def __init__(
+        self,
+        num_sms: int,
+        latency: int = 12,
+        injection_interval: float = 1.0,
+        crossbar_lines_per_cycle: float = 8.0,
+    ) -> None:
+        if num_sms < 1:
+            raise ValueError("need at least one SM")
+        if injection_interval <= 0 or crossbar_lines_per_cycle <= 0:
+            raise ValueError("interconnect rates must be positive")
+        self.latency = latency
+        self.injection_interval = injection_interval
+        self.crossbar_interval = 1.0 / crossbar_lines_per_cycle
+        self._port_free = [0.0] * num_sms
+        self._crossbar_free = 0.0
+        self.stats = InterconnectStats()
+
+    def traverse(self, sm_id: int, cycle: int) -> int:
+        """Send one request from ``sm_id``; returns arrival time at L2."""
+        inject_at = max(float(cycle), self._port_free[sm_id])
+        self._port_free[sm_id] = inject_at + self.injection_interval
+        cross_at = max(inject_at, self._crossbar_free)
+        self._crossbar_free = cross_at + self.crossbar_interval
+        self.stats.requests += 1
+        self.stats.total_queue_cycles += cross_at - cycle
+        return int(cross_at + self.latency)

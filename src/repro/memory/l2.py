@@ -1,0 +1,74 @@
+"""Shared L2 cache in front of DRAM.
+
+All SMs share one L2 (2 MB, 8-way in the baseline, Table 1). The L2 is
+modeled as a tag array plus a *bandwidth server*: every access (hit or
+miss) occupies the L2 port for ``1/lines_per_cycle`` cycles, so under
+heavy load requests queue behind each other and the effective miss
+latency grows with traffic. This congestion behaviour is what makes
+cache thrashing expensive on real GPUs (paper Section 2.2: "Congestion
+of such long-latency memory operations increases stalls in the memory
+system") and what makes warp throttling profitable at all.
+"""
+
+from __future__ import annotations
+
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.dram import DRAMModel
+
+
+class L2Cache:
+    """Shared L2: a set-associative tag array + port bandwidth over DRAM."""
+
+    def __init__(
+        self,
+        size_bytes: int,
+        assoc: int,
+        latency: int,
+        dram: DRAMModel,
+        line_bytes: int = 128,
+        lines_per_cycle: float = 4.0,
+    ) -> None:
+        if lines_per_cycle <= 0:
+            raise ValueError("L2 bandwidth must be positive")
+        self.cache = SetAssociativeCache(size_bytes, assoc, line_bytes)
+        self.latency = latency
+        self.dram = dram
+        self.service_cycles = 1.0 / lines_per_cycle
+        self._port_free: float = 0.0
+        self.queue_delay_sum: float = 0.0
+        self.accesses: int = 0
+
+    def _occupy_port(self, cycle: int) -> float:
+        """Claim the L2 port; returns the cycle service starts."""
+        start = max(float(cycle), self._port_free)
+        self._port_free = start + self.service_cycles
+        self.queue_delay_sum += start - cycle
+        self.accesses += 1
+        return start
+
+    def read(self, line_addr: int, cycle: int) -> int:
+        """Read one line; returns the cycle the data is back at the SM."""
+        start = self._occupy_port(cycle)
+        if self.cache.lookup(line_addr) is not None:
+            return int(start + self.latency)
+        ready = self.dram.access(int(start + self.latency), line_addr=line_addr)
+        self.cache.fill(line_addr, token=line_addr)
+        return ready
+
+    def write(self, line_addr: int, cycle: int) -> int:
+        """Write one line through to DRAM; returns completion cycle."""
+        # Write-through, no-allocate at L2 for modeling simplicity; the
+        # line is invalidated so a later read refetches fresh data.
+        start = self._occupy_port(cycle)
+        self.cache.invalidate(line_addr)
+        return self.dram.access(
+            int(start + self.latency), is_write=True, line_addr=line_addr
+        )
+
+    @property
+    def mean_queue_delay(self) -> float:
+        return self.queue_delay_sum / self.accesses if self.accesses else 0.0
+
+    @property
+    def stats(self):
+        return self.cache.stats

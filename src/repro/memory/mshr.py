@@ -1,0 +1,62 @@
+"""Miss Status Holding Registers (MSHRs).
+
+An MSHR file tracks outstanding cache misses so that multiple requests
+to the same in-flight line merge into a single off-chip fetch. The L1
+in the baseline GPU has 64 MSHR entries (Table 1); when all entries are
+occupied and a new miss arrives for a line that is not already in
+flight, the memory stage stalls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class MSHRFile:
+    """Fixed-capacity merge table for outstanding misses."""
+
+    capacity: int
+    _entries: dict[int, list[Any]] = field(default_factory=dict)
+    merged_requests: int = 0
+    allocations: int = 0
+    stalls: int = 0
+
+    def lookup(self, line_addr: int) -> bool:
+        """True when ``line_addr`` already has an in-flight miss."""
+        return line_addr in self._entries
+
+    def can_allocate(self, line_addr: int) -> bool:
+        """True when a miss to ``line_addr`` can be accepted now."""
+        return line_addr in self._entries or len(self._entries) < self.capacity
+
+    def allocate(self, line_addr: int, waiter: Any) -> bool:
+        """Register ``waiter`` on the miss for ``line_addr``.
+
+        Returns True when this call created a new entry (a new off-chip
+        fetch is needed) and False when it merged into an existing one.
+        Raises when the file is full and the line is not in flight —
+        callers must check :meth:`can_allocate` first.
+        """
+        if line_addr in self._entries:
+            self._entries[line_addr].append(waiter)
+            self.merged_requests += 1
+            return False
+        if len(self._entries) >= self.capacity:
+            self.stalls += 1
+            raise RuntimeError("MSHR file full; caller must stall")
+        self._entries[line_addr] = [waiter]
+        self.allocations += 1
+        return True
+
+    def release(self, line_addr: int) -> list[Any]:
+        """Complete the miss for ``line_addr``; returns its waiters."""
+        return self._entries.pop(line_addr, [])
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)

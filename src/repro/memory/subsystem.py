@@ -1,0 +1,138 @@
+"""Glue: the memory hierarchy shared by all SMs (L2 + DRAM) and the
+off-chip traffic accounting used by the paper's Figure 17.
+
+Traffic is accounted in 128-byte line transfers, split into demand
+reads, store writes, and Linebacker's register backup/restore traffic
+(the "Linebacker overhead" series in Figure 17).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import GPUConfig
+from repro.memory.dram import DRAMModel
+from repro.memory.l2 import L2Cache
+
+
+@dataclass
+class TrafficStats:
+    """Off-chip traffic in line (128 B) granularity."""
+
+    demand_read_lines: int = 0
+    store_write_lines: int = 0
+    backup_write_lines: int = 0
+    restore_read_lines: int = 0
+
+    @property
+    def total_lines(self) -> int:
+        return (
+            self.demand_read_lines
+            + self.store_write_lines
+            + self.backup_write_lines
+            + self.restore_read_lines
+        )
+
+    @property
+    def register_overhead_lines(self) -> int:
+        return self.backup_write_lines + self.restore_read_lines
+
+    @property
+    def total_bytes(self) -> int:
+        return self.total_lines * 128
+
+
+class MemorySubsystem:
+    """Shared L2 + DRAM with traffic accounting.
+
+    All latencies returned are absolute cycles at which the requesting
+    SM observes completion.
+    """
+
+    def __init__(self, config: GPUConfig) -> None:
+        self.config = config
+        if config.dram_model == "timing":
+            from repro.memory.dram_timing import TimingDRAMModel
+
+            self.dram = TimingDRAMModel(
+                lines_per_cycle=config.dram_lines_per_cycle,
+                access_latency=config.dram_latency,
+                line_bytes=config.l1_line_bytes,
+                num_channels=config.dram_channels,
+                banks_per_channel=config.dram_banks_per_channel,
+            )
+        elif config.dram_model == "simple":
+            self.dram = DRAMModel(
+                lines_per_cycle=config.dram_lines_per_cycle,
+                access_latency=config.dram_latency,
+                line_bytes=config.l1_line_bytes,
+            )
+        else:
+            raise ValueError(f"unknown dram_model {config.dram_model!r}")
+        self.l2 = L2Cache(
+            size_bytes=config.l2_size_bytes,
+            assoc=config.l2_assoc,
+            latency=config.l2_latency,
+            dram=self.dram,
+            line_bytes=config.l1_line_bytes,
+            lines_per_cycle=config.l2_lines_per_cycle,
+        )
+        self.traffic = TrafficStats()
+        self._backup_cursor = 0
+        self.noc = None
+        if config.noc_enable:
+            from repro.memory.interconnect import Interconnect
+
+            self.noc = Interconnect(
+                num_sms=config.num_sms,
+                latency=config.noc_latency,
+                injection_interval=config.noc_injection_interval,
+                crossbar_lines_per_cycle=config.noc_crossbar_lines_per_cycle,
+            )
+
+    # -- demand path -----------------------------------------------------
+    def fetch_line(self, line_addr: int, cycle: int, sm_id: int = 0) -> int:
+        """Demand read after an L1 (and victim cache) miss."""
+        if self.noc is not None:
+            cycle = self.noc.traverse(sm_id, cycle)
+        l2_hit = self.l2.cache.probe(line_addr) is not None
+        ready = self.l2.read(line_addr, cycle)
+        if not l2_hit:
+            self.traffic.demand_read_lines += 1
+        return ready
+
+    def write_line(self, line_addr: int, cycle: int, sm_id: int = 0) -> int:
+        """Store write-through from an SM."""
+        if self.noc is not None:
+            cycle = self.noc.traverse(sm_id, cycle)
+        self.traffic.store_write_lines += 1
+        return self.l2.write(line_addr, cycle)
+
+    # -- Linebacker register backup/restore path --------------------------
+    #: Line-granular base of the dedicated register backup region.
+    BACKUP_REGION_BASE = 1 << 40
+
+    def backup_registers(self, num_lines: int, cycle: int) -> int:
+        """Write ``num_lines`` warp registers to the backup region.
+
+        Returns the cycle at which the last write completes. Register
+        backup bypasses L2 (the backup region is not demand data) and
+        streams sequential addresses, so under the bank-level DRAM
+        model it enjoys row-buffer locality.
+        """
+        ready = cycle
+        base = self.BACKUP_REGION_BASE + self._backup_cursor
+        for i in range(num_lines):
+            ready = self.dram.access(cycle, is_write=True, line_addr=base + i)
+        self._backup_cursor += num_lines
+        self.traffic.backup_write_lines += num_lines
+        return ready
+
+    def restore_registers(self, num_lines: int, cycle: int) -> int:
+        """Read ``num_lines`` warp registers back from the backup region."""
+        ready = cycle
+        base = self.BACKUP_REGION_BASE + max(0, self._backup_cursor - num_lines)
+        for i in range(num_lines):
+            ready = self.dram.access(cycle, line_addr=base + i)
+        self.traffic.restore_read_lines += num_lines
+        return ready

@@ -1,0 +1,10 @@
+"""Analytic power/energy model (GPUWattch/CACTI-style accounting)."""
+
+from repro.power.energy import (
+    EnergyBreakdown,
+    EnergyModel,
+    estimate_energy,
+    relative_energy,
+)
+
+__all__ = ["EnergyBreakdown", "EnergyModel", "estimate_energy", "relative_energy"]

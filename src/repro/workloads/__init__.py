@@ -1,0 +1,39 @@
+"""Synthetic workload suite standing in for the paper's 20 CUDA
+applications (Table 2)."""
+
+from repro.workloads.generator import (
+    AppSpec,
+    LoadSpec,
+    Pattern,
+    Scope,
+    StoreSpec,
+    build_kernel,
+    footprint_bytes,
+)
+from repro.workloads.traceio import load_trace, save_trace
+from repro.workloads.suite import (
+    ALL_APPS,
+    APP_SPECS,
+    CACHE_INSENSITIVE,
+    CACHE_SENSITIVE,
+    app_spec,
+    kernel_for,
+)
+
+__all__ = [
+    "ALL_APPS",
+    "APP_SPECS",
+    "AppSpec",
+    "CACHE_INSENSITIVE",
+    "CACHE_SENSITIVE",
+    "LoadSpec",
+    "Pattern",
+    "Scope",
+    "StoreSpec",
+    "app_spec",
+    "build_kernel",
+    "footprint_bytes",
+    "kernel_for",
+    "load_trace",
+    "save_trace",
+]

@@ -1,0 +1,215 @@
+"""Synthetic kernel generator.
+
+The paper evaluates on 20 CUDA applications (Table 2). Without the
+binaries or a PTX front end, we synthesize each application as a
+parameterized kernel model whose *load-level characteristics* match
+what the paper's motivational study measures per app:
+
+* a small set of static loads, each with its own working-set size,
+  sharing scope (global / per-CTA / per-warp), stride and divergence
+  (paper Section 2.3: locality behaviour is a property of the static
+  load and is consistent across warps);
+* streaming loads that touch every line exactly once (>95% miss ratio
+  with an infinite cache — the paper's streaming criterion);
+* per-thread register counts that determine statically unused register
+  space, and CTA grids sized so every SM gets work.
+
+Addresses are line-granular integers. The pseudo-random components use
+fixed multiplicative hashing so traces are deterministic without
+per-instruction RNG overhead.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.gpu.isa import Instruction, alu, exit_inst, load, store
+from repro.gpu.trace import KernelTrace
+
+
+class Scope(enum.Enum):
+    """How a load's working set is shared."""
+
+    GLOBAL = "global"   # one region shared by every warp (e.g. centroids)
+    CTA = "cta"         # one region per CTA (e.g. a tile)
+    WARP = "warp"       # one region per warp (e.g. private rows)
+
+
+class Pattern(enum.Enum):
+    REUSE = "reuse"       # wraps around the working set: high locality
+    STREAM = "stream"     # monotone, never revisits a line
+    DIVERGENT = "divergent"  # irregular within the region (graph-like)
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """One static load instruction's behaviour."""
+
+    pc: int
+    pattern: Pattern
+    working_set_lines: int = 64
+    scope: Scope = Scope.GLOBAL
+    stride: int = 1
+    lines_per_access: int = 1   # >1 models uncoalesced (divergent) access
+    weight: int = 1             # issues per loop iteration
+    #: REUSE loads revisit the same line for this many consecutive
+    #: iterations before advancing — short temporal bursts, the
+    #: realistic middle ground between pure streaming and the
+    #: LRU-adversarial cyclic sweep.
+    reuse_burst: int = 2
+
+
+@dataclass(frozen=True)
+class StoreSpec:
+    """Output traffic: stores stream into a per-CTA output region."""
+
+    pc: int
+    every_iterations: int = 8
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """One synthetic application."""
+
+    name: str
+    description: str
+    cache_sensitive: bool
+    num_ctas: int
+    warps_per_cta: int
+    regs_per_thread: int
+    iterations: int
+    loads: tuple[LoadSpec, ...]
+    stores: tuple[StoreSpec, ...] = ()
+    alu_per_iteration: int = 4
+    shared_mem_per_cta: int = 0
+
+    def region_base(self, load_index: int) -> int:
+        """Disjoint, stable address regions per static load."""
+        return (load_index + 1) << 22
+
+
+_MIX = 0x9E3779B1  # Fibonacci hashing constant for address scrambling.
+_MASK32 = 0xFFFFFFFF
+
+
+def _scramble(t: int, lane: int, j: int) -> int:
+    """Murmur-style avalanche hash of (iteration, warp, line slot).
+
+    DIVERGENT accesses must look i.i.d.-uniform over the region. A
+    plain ``(t * odd_constant) % ws`` is a *permutation* of the region
+    — a warp would never revisit a line within ``ws`` iterations, so a
+    nominally random pattern would behave like streaming. The
+    finalizer below destroys that structure, giving birthday-rate
+    collisions and therefore a hit ratio that scales smoothly with
+    (resident capacity / region size).
+    """
+    h = (t * _MIX + lane * 0xC2B2AE35 + j * 0x27D4EB2F) & _MASK32
+    h ^= h >> 16
+    h = (h * 0x85EBCA6B) & _MASK32
+    h ^= h >> 13
+    h = (h * 0xC2B2AE35) & _MASK32
+    h ^= h >> 16
+    return h
+
+
+def _warp_stream(spec: AppSpec, cta_id: int, warp: int) -> Iterator[Instruction]:
+    """Generate one warp's instruction stream for ``spec``."""
+    warps_per_cta = spec.warps_per_cta
+    global_warp = cta_id * warps_per_cta + warp
+    alu_ops = spec.alu_per_iteration
+
+    # Pre-compute per-load bases.
+    bases = []
+    for idx, ld in enumerate(spec.loads):
+        base = spec.region_base(idx)
+        if ld.scope is Scope.CTA:
+            base += cta_id * ld.working_set_lines
+        elif ld.scope is Scope.WARP:
+            base += global_warp * ld.working_set_lines
+        bases.append(base)
+    stream_counters = [0] * len(spec.loads)
+    store_base = (len(spec.loads) + 2) << 22
+
+    for t in range(spec.iterations):
+        for _ in range(alu_ops):
+            yield alu(pc=0x10)
+        for idx, ld in enumerate(spec.loads):
+            base = bases[idx]
+            ws = max(1, ld.working_set_lines)
+            for rep in range(ld.weight):
+                if ld.pattern is Pattern.STREAM:
+                    # Unique line per dynamic access across the grid.
+                    seq = stream_counters[idx]
+                    stream_counters[idx] += 1
+                    first = base + (global_warp * spec.iterations * ld.weight + seq)
+                    lines = tuple(first * 1 + j for j in range(ld.lines_per_access))
+                elif ld.pattern is Pattern.DIVERGENT:
+                    # Hash the *global* warp id: warp k of different
+                    # CTAs must not generate identical streams
+                    # (lockstep duplicates would merge in the MSHRs
+                    # and never produce a hit).
+                    lines = tuple(
+                        base + (_scramble(t * ld.stride + rep, global_warp, j) % ws)
+                        for j in range(ld.lines_per_access)
+                    )
+                else:  # REUSE
+                    step = t // max(1, ld.reuse_burst)
+                    phase_warp = global_warp if ld.scope is Scope.GLOBAL else warp
+                    offset = (
+                        step * ld.stride
+                        + rep
+                        + phase_warp * (ws // max(1, warps_per_cta))
+                    ) % ws
+                    lines = tuple(
+                        base + ((offset + j * 17) % ws)
+                        for j in range(ld.lines_per_access)
+                    )
+                yield load(pc=ld.pc, line_addrs=lines)
+        for st in spec.stores:
+            if st.every_iterations > 0 and t % st.every_iterations == 0:
+                addr = store_base + global_warp * spec.iterations + t
+                yield store(pc=st.pc, line_addrs=(addr,))
+    yield exit_inst()
+
+
+def build_kernel(spec: AppSpec) -> KernelTrace:
+    """Materialize the KernelTrace for an application spec."""
+    if not spec.loads:
+        raise ValueError(f"{spec.name}: an application needs at least one load")
+    pcs = [ld.pc for ld in spec.loads]
+    if len(set(pcs)) != len(pcs):
+        raise ValueError(f"{spec.name}: duplicate load PCs")
+
+    def factory(cta_id: int, warp: int) -> Iterator[Instruction]:
+        return _warp_stream(spec, cta_id, warp)
+
+    return KernelTrace(
+        name=spec.name,
+        num_ctas=spec.num_ctas,
+        warps_per_cta=spec.warps_per_cta,
+        regs_per_thread=spec.regs_per_thread,
+        warp_trace=factory,
+        shared_mem_per_cta=spec.shared_mem_per_cta,
+    )
+
+
+def footprint_bytes(spec: AppSpec, resident_ctas: int) -> int:
+    """Reused working-set footprint on one SM at a given residency.
+
+    Streaming loads are excluded — their lines are dead on arrival.
+    Used by calibration tests to check an app lands in its intended
+    cache-sensitivity class.
+    """
+    total_lines = 0
+    for ld in spec.loads:
+        if ld.pattern is Pattern.STREAM:
+            continue
+        if ld.scope is Scope.GLOBAL:
+            total_lines += ld.working_set_lines
+        elif ld.scope is Scope.CTA:
+            total_lines += ld.working_set_lines * resident_ctas
+        else:
+            total_lines += ld.working_set_lines * resident_ctas * spec.warps_per_cta
+    return total_lines * 128

@@ -1,0 +1,119 @@
+"""Kernel trace serialization.
+
+Lets users export a kernel's instruction streams to a JSON-lines file
+(one record per warp) and load them back as a
+:class:`~repro.gpu.trace.KernelTrace`. Useful for:
+
+* feeding externally generated traces (e.g. converted from a real
+  profiler dump) into the simulator,
+* freezing a synthetic workload so experiments are reproducible even
+  if the generator's calibration changes,
+* inspecting exactly what a workload does.
+
+Format (JSON lines):
+
+* line 1 — header: ``{"name", "num_ctas", "warps_per_cta",
+  "regs_per_thread", "shared_mem_per_cta"}``
+* then one record per warp: ``{"cta": int, "warp": int,
+  "insts": [[op, pc, [addr, ...]], ...]}`` with ``op`` one of
+  ``"alu" | "load" | "store" | "exit"``. ALU/EXIT omit the address
+  list; the trailing EXIT may be omitted (it is re-appended on load).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator, Union
+
+from repro.gpu.isa import Instruction, Op, alu, exit_inst, load, store
+from repro.gpu.trace import KernelTrace
+
+PathLike = Union[str, Path]
+
+
+def _encode(inst: Instruction) -> list:
+    if inst.op is Op.LOAD or inst.op is Op.STORE:
+        return [inst.op.value, inst.pc, list(inst.line_addrs)]
+    return [inst.op.value, inst.pc]
+
+
+def _decode(record: list) -> Instruction:
+    op = record[0]
+    if op == "alu":
+        return alu(pc=record[1])
+    if op == "exit":
+        return exit_inst()
+    if op == "load":
+        return load(record[1], record[2])
+    if op == "store":
+        return store(record[1], record[2])
+    raise ValueError(f"unknown opcode {op!r} in trace file")
+
+
+def save_trace(kernel: KernelTrace, path: PathLike) -> int:
+    """Write ``kernel`` to ``path`` (JSON lines). Returns the number of
+    dynamic instructions written."""
+    path = Path(path)
+    written = 0
+    with path.open("w") as fh:
+        header = {
+            "name": kernel.name,
+            "num_ctas": kernel.num_ctas,
+            "warps_per_cta": kernel.warps_per_cta,
+            "regs_per_thread": kernel.regs_per_thread,
+            "shared_mem_per_cta": kernel.shared_mem_per_cta,
+        }
+        fh.write(json.dumps(header) + "\n")
+        for cta in range(kernel.num_ctas):
+            for warp in range(kernel.warps_per_cta):
+                insts = [_encode(i) for i in kernel.warp_trace(cta, warp)]
+                written += len(insts)
+                fh.write(
+                    json.dumps({"cta": cta, "warp": warp, "insts": insts}) + "\n"
+                )
+    return written
+
+
+def load_trace(path: PathLike) -> KernelTrace:
+    """Load a KernelTrace previously written by :func:`save_trace` (or
+    hand-authored in the same format)."""
+    path = Path(path)
+    with path.open() as fh:
+        lines = fh.read().splitlines()
+    if not lines:
+        raise ValueError(f"{path}: empty trace file")
+    header = json.loads(lines[0])
+    for key in ("name", "num_ctas", "warps_per_cta", "regs_per_thread"):
+        if key not in header:
+            raise ValueError(f"{path}: header missing {key!r}")
+
+    streams: dict[tuple[int, int], list[Instruction]] = {}
+    for lineno, raw in enumerate(lines[1:], start=2):
+        record = json.loads(raw)
+        key = (record["cta"], record["warp"])
+        insts = [_decode(r) for r in record["insts"]]
+        if not insts or insts[-1].op is not Op.EXIT:
+            insts.append(exit_inst())
+        streams[key] = insts
+
+    expected = {
+        (c, w)
+        for c in range(header["num_ctas"])
+        for w in range(header["warps_per_cta"])
+    }
+    missing = expected - set(streams)
+    if missing:
+        raise ValueError(f"{path}: missing warp streams for {sorted(missing)[:4]}...")
+
+    def factory(cta_id: int, warp: int) -> Iterator[Instruction]:
+        return iter(streams[(cta_id, warp)])
+
+    return KernelTrace(
+        name=header["name"],
+        num_ctas=header["num_ctas"],
+        warps_per_cta=header["warps_per_cta"],
+        regs_per_thread=header["regs_per_thread"],
+        warp_trace=factory,
+        shared_mem_per_cta=header.get("shared_mem_per_cta", 0),
+    )

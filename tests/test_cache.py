@@ -1,0 +1,171 @@
+"""Unit tests for the set-associative cache (repro.memory.cache)."""
+
+import pytest
+
+from repro.memory.cache import CacheLine, SetAssociativeCache
+
+
+def make_cache(size=8 * 1024, assoc=4, line=128, hook=None):
+    return SetAssociativeCache(size, assoc, line, eviction_hook=hook)
+
+
+class TestGeometry:
+    def test_num_sets(self):
+        cache = make_cache(size=48 * 1024, assoc=8)
+        assert cache.num_sets == 48
+
+    def test_paper_l1_geometry(self):
+        """Table 1: 48 KB, 8-way, 128 B lines -> 48 sets."""
+        cache = make_cache(size=48 * 1024, assoc=8, line=128)
+        assert cache.num_sets * cache.assoc * cache.line_bytes == 48 * 1024
+
+    def test_rejects_misaligned_size(self):
+        with pytest.raises(ValueError):
+            make_cache(size=1000, assoc=4)
+
+    def test_set_index_and_tag_are_inverse(self):
+        cache = make_cache()
+        for addr in (0, 1, 47, 1000, 123456):
+            s, t = cache.set_index(addr), cache.tag_of(addr)
+            assert t * cache.num_sets + s == addr
+
+
+class TestLookupAndFill:
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        assert cache.lookup(10) is None
+        cache.fill(10, token=99)
+        line = cache.lookup(10)
+        assert line is not None
+        assert line.token == 99
+
+    def test_probe_does_not_touch_stats(self):
+        cache = make_cache()
+        cache.probe(5)
+        assert cache.stats.accesses == 0
+
+    def test_lookup_counts_hits_and_misses(self):
+        cache = make_cache()
+        cache.lookup(1)
+        cache.fill(1)
+        cache.lookup(1)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_fill_same_line_refreshes_without_eviction(self):
+        cache = make_cache()
+        cache.fill(3, token=1)
+        evicted = cache.fill(3, token=2)
+        assert evicted is None
+        assert cache.probe(3).token == 2
+
+    def test_hpc_field_updates_on_access(self):
+        """Each L1 line carries the hashed PC of its last accessor
+        (paper Section 4, HPC field)."""
+        cache = make_cache()
+        cache.fill(7, hpc=3)
+        cache.lookup(7, hpc=9)
+        assert cache.probe(7).hpc == 9
+
+
+class TestLRUReplacement:
+    def test_evicts_least_recently_used(self):
+        cache = make_cache(size=4 * 128, assoc=4, line=128)  # one set
+        for addr in range(0, 4):
+            cache.fill(addr * cache.num_sets)
+        cache.lookup(0)  # refresh line 0
+        evicted = cache.fill(4 * cache.num_sets)
+        assert evicted is not None
+        evicted_addr, _ = evicted
+        assert evicted_addr == 1 * cache.num_sets  # line 1 was LRU
+
+    def test_eviction_hook_called_with_line(self):
+        seen = []
+        cache = SetAssociativeCache(
+            2 * 128, 2, 128, eviction_hook=lambda a, l: seen.append((a, l.token))
+        )
+        cache.fill(0, token=10)
+        cache.fill(cache.num_sets, token=11)
+        cache.fill(2 * cache.num_sets, token=12)
+        assert seen == [(0, 10)]
+
+    def test_occupancy_capped_by_capacity(self):
+        cache = make_cache(size=8 * 128, assoc=8, line=128)
+        for addr in range(100):
+            cache.fill(addr)
+        assert cache.occupancy() <= 8
+
+
+class TestColdVsCapacityClassification:
+    """Paper Figure 1 relies on cold vs capacity/conflict (2C) misses."""
+
+    def test_first_touch_is_cold(self):
+        cache = make_cache()
+        cache.lookup(42)
+        assert cache.stats.cold_misses == 1
+        assert cache.stats.capacity_conflict_misses == 0
+
+    def test_re_miss_after_eviction_is_capacity(self):
+        cache = SetAssociativeCache(2 * 128, 2, 128)
+        cache.lookup(0)
+        cache.fill(0)
+        # Evict line 0 by filling the set beyond capacity.
+        cache.fill(cache.num_sets)
+        cache.fill(2 * cache.num_sets)
+        cache.lookup(0)
+        assert cache.stats.capacity_conflict_misses == 1
+
+    def test_invalidated_line_remiss_is_capacity(self):
+        cache = make_cache()
+        cache.lookup(5)
+        cache.fill(5)
+        cache.invalidate(5)
+        cache.lookup(5)
+        assert cache.stats.capacity_conflict_misses == 1
+
+
+class TestStorePolicy:
+    """Write-evict on hit, write-no-allocate on miss (paper Section 4)."""
+
+    def test_write_hit_evicts_line(self):
+        cache = make_cache()
+        cache.fill(9)
+        assert cache.write_access(9) is True
+        assert cache.probe(9) is None
+
+    def test_write_miss_does_not_allocate(self):
+        cache = make_cache()
+        assert cache.write_access(11) is False
+        assert cache.probe(11) is None
+
+    def test_write_eviction_skips_hook(self):
+        """Stores invalidate silently: the line must not be preserved
+        as a victim (the store data goes down the hierarchy)."""
+        seen = []
+        cache = make_cache(hook=lambda a, l: seen.append(a))
+        cache.fill(13)
+        cache.write_access(13)
+        assert seen == []
+
+    def test_write_counts(self):
+        cache = make_cache()
+        cache.fill(1)
+        cache.write_access(1)
+        cache.write_access(2)
+        assert cache.stats.write_hits == 1
+        assert cache.stats.write_misses == 1
+
+
+class TestResidentLines:
+    def test_resident_lines_match_fills(self):
+        cache = make_cache()
+        addrs = {5, 70, 135, 2000}
+        for a in addrs:
+            cache.fill(a)
+        assert set(cache.resident_lines()) == addrs
+
+    def test_reset_stats(self):
+        cache = make_cache()
+        cache.lookup(1)
+        cache.reset_stats()
+        assert cache.stats.accesses == 0

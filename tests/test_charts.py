@@ -1,0 +1,42 @@
+"""Tests for the ASCII chart renderer."""
+
+from repro.analysis.charts import bar_chart, grouped_bar_chart
+
+
+class TestBarChart:
+    def test_contains_labels_and_values(self):
+        text = bar_chart("T", {"a": 1.0, "bb": 2.0})
+        assert "a" in text and "bb" in text
+        assert "1.00" in text and "2.00" in text
+
+    def test_peak_value_fills_width(self):
+        text = bar_chart("T", {"x": 4.0}, width=10)
+        assert "#" * 10 in text
+
+    def test_reference_marker_drawn(self):
+        text = bar_chart("T", {"low": 0.5, "high": 2.0}, reference=1.0)
+        assert "|" in text
+        assert "| = 1.00" in text
+
+    def test_zero_and_negative_values_render(self):
+        text = bar_chart("T", {"zero": 0.0, "neg": -1.0})
+        assert "0.00" in text and "-1.00" in text
+
+    def test_empty_chart(self):
+        assert "(no data)" in bar_chart("T", {})
+
+
+class TestGroupedBarChart:
+    def test_groups_and_series_render(self):
+        rows = {"g1": {"a": 1.0, "b": 2.0}, "g2": {"a": 3.0, "b": 0.5}}
+        text = grouped_bar_chart("T", rows, series=("a", "b"))
+        assert "g1:" in text and "g2:" in text
+        assert text.count("a ") >= 2
+
+    def test_missing_series_defaults_to_zero(self):
+        rows = {"g": {"a": 1.0}}
+        text = grouped_bar_chart("T", rows, series=("a", "b"))
+        assert "0.00" in text
+
+    def test_empty(self):
+        assert "(no data)" in grouped_bar_chart("T", {})

@@ -1,0 +1,34 @@
+"""Tests for the `python -m repro` command-line interface."""
+
+import pytest
+
+from repro.__main__ import FIGURES, main
+
+
+class TestCLI:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in FIGURES:
+            assert name in out
+
+    def test_overhead_command(self, capsys):
+        assert main(["overhead"]) == 0
+        out = capsys.readouterr().out
+        assert "total (KB)" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figNaN"])
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig1", "--apps", "NOPE"])
+
+    def test_fig1_tiny_run(self, capsys):
+        assert main(["fig1", "--apps", "LI", "--scale", "0.1", "--sms", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "LI" in out
+
+    def test_every_figure_registered(self):
+        assert set(FIGURES) == {f"fig{i}" for i in list(range(1, 6)) + list(range(9, 19))}

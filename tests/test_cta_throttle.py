@@ -1,0 +1,176 @@
+"""Unit tests for the CTA Throttling Logic (IPC monitor, CTA manager,
+hill-climb controller)."""
+
+import pytest
+
+from repro.core.cta_throttle import (
+    CTAManager,
+    CTAThrottleController,
+    IPCMonitor,
+    SearchPhase,
+    ThrottleDecision,
+)
+
+
+class TestIPCMonitor:
+    def test_first_window_has_no_variation(self):
+        mon = IPCMonitor()
+        assert mon.record_window(1000, 1000) == 0.0
+        assert mon.current_ipc == 1.0
+
+    def test_variation_equation(self):
+        """IPC_Var(prev, cur) = (cur - prev) / prev (paper Eq. 1)."""
+        mon = IPCMonitor()
+        mon.record_window(1000, 1000)
+        var = mon.record_window(1200, 1000)
+        assert var == pytest.approx(0.20)
+
+    def test_negative_variation(self):
+        mon = IPCMonitor()
+        mon.record_window(1000, 1000)
+        assert mon.record_window(800, 1000) == pytest.approx(-0.20)
+
+    def test_previous_ipc_shifts(self):
+        mon = IPCMonitor()
+        mon.record_window(500, 1000)
+        mon.record_window(700, 1000)
+        assert mon.previous_ipc == pytest.approx(0.5)
+        assert mon.current_ipc == pytest.approx(0.7)
+
+
+class TestCTAManager:
+    def test_launch_tracks_frn_and_lrn(self):
+        mgr = CTAManager(regs_per_cta=128)
+        mgr.register_launch(0, first_register=0)
+        mgr.register_launch(1, first_register=128)
+        assert mgr.table[1].frn == 128
+        assert mgr.largest_register_number == 255
+
+    def test_throttle_candidate_is_largest_id(self):
+        """Paper: the ACT bit of the active CTA with the largest
+        hardware CTA ID is cleared first."""
+        mgr = CTAManager(regs_per_cta=64)
+        for slot in (0, 1, 2):
+            mgr.register_launch(slot, slot * 64)
+        assert mgr.throttle_candidate() == 2
+
+    def test_throttled_cta_not_active(self):
+        mgr = CTAManager(regs_per_cta=64)
+        mgr.register_launch(0, 0)
+        mgr.register_launch(1, 64)
+        mgr.mark_throttled(1, backup_address=0x8000_0000)
+        assert mgr.active_slots() == [0]
+        assert mgr.inactive_slots() == [1]
+        assert not mgr.table[1].backup_complete
+
+    def test_backup_complete_sets_c_bit_and_flushes_frn(self):
+        mgr = CTAManager(regs_per_cta=64)
+        mgr.register_launch(0, 0)
+        mgr.mark_throttled(0, 0x8000_0000)
+        mgr.mark_backup_complete(0)
+        info = mgr.table[0]
+        assert info.backup_complete
+        assert info.frn is None
+        assert mgr.restorable_slots() == [0]
+
+    def test_lrn_shrinks_after_backup(self):
+        mgr = CTAManager(regs_per_cta=64)
+        mgr.register_launch(0, 0)
+        mgr.register_launch(1, 64)
+        mgr.mark_throttled(1, 0x8000_0000)
+        mgr.mark_backup_complete(1)
+        assert mgr.largest_register_number == 63
+
+    def test_reactivation_restores_tracking(self):
+        mgr = CTAManager(regs_per_cta=64)
+        mgr.register_launch(0, 0)
+        mgr.mark_throttled(0, 0x8000_0000)
+        mgr.mark_backup_complete(0)
+        mgr.mark_reactivated(0, first_register=64)
+        info = mgr.table[0]
+        assert info.act and info.frn == 64
+        assert info.backup_address is None
+
+    def test_finish_removes_entry(self):
+        mgr = CTAManager(regs_per_cta=64)
+        mgr.register_launch(0, 0)
+        mgr.register_finish(0)
+        assert mgr.table == {}
+
+
+class TestController:
+    def make(self):
+        return CTAThrottleController(upper_bound=0.10, lower_bound=-0.10)
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            CTAThrottleController(upper_bound=-0.1, lower_bound=0.1)
+
+    def test_searching_throttles_while_ipc_holds(self):
+        ctl = self.make()
+        ctl.best_ipc = 1.0
+        ctl.best_active = 8
+        d = ctl.decide(980, 1000, active_ctas=8, inactive_ctas=0)
+        assert d is ThrottleDecision.THROTTLE
+
+    def test_search_stops_on_ipc_drop_and_recovers(self):
+        ctl = self.make()
+        ctl.best_ipc = 1.0
+        ctl.best_active = 8
+        ctl.decide(950, 1000, active_ctas=8, inactive_ctas=0)   # throttle
+        d = ctl.decide(850, 1000, active_ctas=7, inactive_ctas=1)
+        assert d is ThrottleDecision.REACTIVATE
+        assert ctl.phase is SearchPhase.RECOVERING
+
+    def test_recovery_returns_to_best_count_then_settles(self):
+        ctl = self.make()
+        ctl.best_ipc = 1.0
+        ctl.best_active = 8
+        ctl.phase = SearchPhase.RECOVERING
+        d = ctl.decide(900, 1000, active_ctas=6, inactive_ctas=2)
+        assert d is ThrottleDecision.REACTIVATE
+        d = ctl.decide(990, 1000, active_ctas=8, inactive_ctas=0)
+        assert d is ThrottleDecision.HOLD
+        assert ctl.phase is SearchPhase.SETTLED
+
+    def test_best_ipc_updates_during_descent(self):
+        ctl = self.make()
+        ctl.best_ipc = 1.0
+        ctl.best_active = 8
+        ctl.decide(1200, 1000, active_ctas=7, inactive_ctas=1)
+        assert ctl.best_ipc == pytest.approx(1.2)
+        assert ctl.best_active == 7
+
+    def test_min_active_floor(self):
+        ctl = CTAThrottleController(min_active_ctas=2)
+        ctl.best_ipc = 1.0
+        d = ctl.decide(1000, 1000, active_ctas=2, inactive_ctas=6)
+        assert d is not ThrottleDecision.THROTTLE
+
+    def test_record_only_never_acts(self):
+        """Windows with CTA turnover update history but take no action."""
+        ctl = self.make()
+        ctl.best_ipc = 1.0
+        ctl.best_active = 8
+        d = ctl.decide(2000, 1000, active_ctas=8, inactive_ctas=0, record_only=True)
+        assert d is ThrottleDecision.HOLD
+        assert ctl.best_ipc == pytest.approx(2.0)
+
+    def test_settled_reopens_on_sustained_drop(self):
+        ctl = self.make()
+        ctl.best_ipc = 1.0
+        ctl.best_active = 8
+        ctl.phase = SearchPhase.SETTLED
+        d = ctl.decide(700, 1000, active_ctas=6, inactive_ctas=2)
+        assert d is ThrottleDecision.REACTIVATE
+        assert ctl.phase is SearchPhase.RECOVERING
+
+    def test_settled_holds_within_tolerance(self):
+        ctl = self.make()
+        ctl.best_ipc = 1.0
+        ctl.best_active = 8
+        ctl.phase = SearchPhase.SETTLED
+        assert (
+            ctl.decide(950, 1000, active_ctas=6, inactive_ctas=2)
+            is ThrottleDecision.HOLD
+        )

@@ -1,0 +1,80 @@
+"""Unit tests for the DRAM bandwidth server and the shared L2."""
+
+import pytest
+
+from repro.config import GPUConfig
+from repro.memory.dram import DRAMModel
+from repro.memory.l2 import L2Cache
+
+
+class TestDRAM:
+    def test_idle_access_latency(self):
+        dram = DRAMModel(lines_per_cycle=1.0, access_latency=100)
+        assert dram.access(0) == 101
+
+    def test_bandwidth_serializes_requests(self):
+        dram = DRAMModel(lines_per_cycle=0.5, access_latency=0)
+        first = dram.access(0)
+        second = dram.access(0)
+        assert second - first == pytest.approx(2, abs=1)
+
+    def test_queue_delay_grows_under_load(self):
+        dram = DRAMModel(lines_per_cycle=0.25, access_latency=10)
+        for _ in range(10):
+            dram.access(0)
+        assert dram.queue_delay(0) == pytest.approx(40, abs=1)
+
+    def test_channel_drains_over_time(self):
+        dram = DRAMModel(lines_per_cycle=0.5, access_latency=0)
+        dram.access(0)
+        assert dram.queue_delay(1000) == 0.0
+
+    def test_read_write_accounting(self):
+        dram = DRAMModel(lines_per_cycle=1.0)
+        dram.access(0)
+        dram.access(0, is_write=True)
+        assert dram.stats.reads == 1
+        assert dram.stats.writes == 1
+        assert dram.stats.bytes_transferred == 256
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError):
+            DRAMModel(lines_per_cycle=0)
+
+    def test_paper_bandwidth_conversion(self):
+        """Table 1: 352.5 GB/s at 1126 MHz is ~2.45 lines/cycle."""
+        cfg = GPUConfig()
+        assert cfg.dram_lines_per_cycle == pytest.approx(2.446, abs=0.01)
+
+
+class TestL2:
+    def make(self, lines_per_cycle=4.0, size=64 * 1024):
+        dram = DRAMModel(lines_per_cycle=2.0, access_latency=200)
+        return L2Cache(size, 8, latency=100, dram=dram, lines_per_cycle=lines_per_cycle)
+
+    def test_miss_goes_to_dram_then_hits(self):
+        l2 = self.make()
+        miss_ready = l2.read(42, 0)
+        hit_ready = l2.read(42, 1000)
+        assert miss_ready > 100  # L2 latency + DRAM
+        assert hit_ready == 1000 + 100
+
+    def test_write_through_invalidates(self):
+        l2 = self.make()
+        l2.read(7, 0)
+        l2.write(7, 10)
+        assert l2.cache.probe(7) is None
+
+    def test_port_bandwidth_queues_requests(self):
+        """The L2 port serializes: heavy traffic sees growing delay
+        (the congestion that makes thrashing expensive, Section 2.2)."""
+        l2 = self.make(lines_per_cycle=0.5)
+        l2.read(0, 0)
+        completions = [l2.read(0, 0) for _ in range(20)]
+        assert completions[-1] > completions[0]
+        assert l2.mean_queue_delay > 0
+
+    def test_rejects_zero_bandwidth(self):
+        dram = DRAMModel(lines_per_cycle=1.0)
+        with pytest.raises(ValueError):
+            L2Cache(64 * 1024, 8, 100, dram, lines_per_cycle=0)

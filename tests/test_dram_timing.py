@@ -1,0 +1,153 @@
+"""Tests for the bank-level DRAM timing model (Table 1 timing row)."""
+
+import pytest
+
+from dataclasses import replace
+
+from repro.config import scaled_config
+from repro.gpu.gpu import run_kernel
+from repro.gpu.isa import load
+from repro.gpu.trace import from_instruction_lists
+from repro.memory.dram_timing import DRAMTimings, TimingDRAMModel
+
+
+def make(channels=2, banks=4, lines_per_row=4, bw=1.0, latency=100):
+    return TimingDRAMModel(
+        lines_per_cycle=bw,
+        access_latency=latency,
+        num_channels=channels,
+        banks_per_channel=banks,
+        lines_per_row=lines_per_row,
+    )
+
+
+class TestTimings:
+    def test_paper_table1_values(self):
+        t = DRAMTimings()
+        assert (t.rcd, t.rp, t.rc, t.rrd, t.cl, t.wr, t.ras) == (
+            12.0, 12.0, 40.0, 5.5, 12.0, 12.0, 28.0
+        )
+
+
+class TestAddressMapping:
+    def test_consecutive_lines_stripe_channels(self):
+        dram = make(channels=4)
+        assert [dram.channel_of(a) for a in range(4)] == [0, 1, 2, 3]
+
+    def test_bank_interleaving(self):
+        dram = make(channels=2, banks=4)
+        # Same channel, successive per-channel lines -> successive banks.
+        assert dram.bank_of(0) == 0
+        assert dram.bank_of(2) == 1
+        assert dram.bank_of(4) == 2
+
+    def test_row_groups_lines(self):
+        dram = make(channels=1, banks=1, lines_per_row=4)
+        assert dram.row_of(0) == dram.row_of(3)
+        assert dram.row_of(4) == 1
+
+
+class TestRowBuffer:
+    def test_first_access_is_row_miss(self):
+        dram = make()
+        dram.access(0, line_addr=0)
+        assert dram.stats.row_misses == 1
+
+    def test_same_row_hits(self):
+        dram = make(channels=1, banks=1, lines_per_row=8)
+        dram.access(0, line_addr=0)
+        dram.access(500, line_addr=1)
+        assert dram.stats.row_hits == 1
+
+    def test_row_hit_faster_than_row_miss(self):
+        dram = make(channels=1, banks=1, lines_per_row=8)
+        miss_done = dram.access(0, line_addr=0)
+        hit_done = dram.access(1000, line_addr=1) - 1000
+        miss_cost = miss_done - 0
+        assert hit_done < miss_cost
+
+    def test_row_conflict_pays_precharge_activate(self):
+        dram = make(channels=1, banks=1, lines_per_row=4)
+        t = dram.timings
+        dram.access(0, line_addr=0)          # opens row 0
+        done = dram.access(1000, line_addr=4)  # row 1: conflict
+        # Must include at least RP + RCD + CL beyond the request time.
+        assert done - 1000 >= t.rp + t.rcd + t.cl
+
+    def test_trc_separates_same_bank_activates(self):
+        dram = make(channels=1, banks=1, lines_per_row=1)
+        t = dram.timings
+        dram.access(0, line_addr=0)   # activate row 0 at some cycle A
+        first_activate = dram._banks[0][0].last_activate
+        dram.access(0, line_addr=1)   # immediate conflicting activate
+        second_activate = dram._banks[0][0].last_activate
+        assert second_activate - first_activate >= t.rc
+
+    def test_trrd_separates_cross_bank_activates(self):
+        dram = make(channels=1, banks=4, lines_per_row=1)
+        t = dram.timings
+        dram.access(0, line_addr=0)   # bank 0
+        a0 = dram._last_activate_in_channel[0]
+        dram.access(0, line_addr=1)   # bank 1, same channel
+        a1 = dram._last_activate_in_channel[0]
+        assert a1 - a0 >= t.rrd
+
+    def test_write_recovery_delays_next_access(self):
+        dram = make(channels=1, banks=1, lines_per_row=8)
+        dram.access(0, line_addr=0, is_write=True)
+        bank = dram._banks[0][0]
+        write_done_plus_wr = bank.ready_at
+        done = dram.access(0, line_addr=1)
+        assert done >= write_done_plus_wr
+
+
+class TestBandwidth:
+    def test_channel_bus_serializes(self):
+        dram = make(channels=1, banks=4, bw=0.5)
+        first = dram.access(0, line_addr=0)
+        second = dram.access(0, line_addr=2)  # different bank, same channel
+        assert second > first
+
+    def test_channels_run_in_parallel(self):
+        dram = make(channels=2, banks=2, bw=0.5)
+        done_a = dram.access(0, line_addr=0)  # channel 0
+        done_b = dram.access(0, line_addr=1)  # channel 1
+        # Independent channels: neither waits on the other's bus.
+        assert abs(done_a - done_b) < dram.bus_cycles
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            TimingDRAMModel(lines_per_cycle=1.0, num_channels=0)
+        with pytest.raises(ValueError):
+            TimingDRAMModel(lines_per_cycle=0)
+
+
+class TestEndToEnd:
+    def test_streaming_gets_high_row_hit_ratio(self):
+        """Sequential lines mostly land in open rows."""
+        dram = make(channels=2, banks=4, lines_per_row=16, bw=4.0)
+        for a in range(512):
+            dram.access(a * 2, line_addr=a)
+        assert dram.stats.row_hit_ratio > 0.7
+
+    def test_random_traffic_gets_low_row_hit_ratio(self):
+        dram = make(channels=2, banks=4, lines_per_row=16, bw=4.0)
+        for i in range(512):
+            dram.access(i * 2, line_addr=(i * 2654435761) % (1 << 20))
+        assert dram.stats.row_hit_ratio < 0.3
+
+    def test_full_simulation_with_timing_dram(self):
+        cfg = scaled_config(num_sms=1, window_cycles=500)
+        cfg = replace(cfg, gpu=replace(cfg.gpu, dram_model="timing"))
+        per_warp = [[[load(0x100, [w * 16 + i]) for i in range(12)] for w in range(4)]]
+        kernel = from_instruction_lists("t", per_warp, regs_per_thread=8)
+        result = run_kernel(cfg, kernel)
+        assert result.instructions == 4 * 13
+        assert result.dram_reads > 0
+
+    def test_unknown_dram_model_rejected(self):
+        cfg = scaled_config(num_sms=1)
+        cfg = replace(cfg, gpu=replace(cfg.gpu, dram_model="quantum"))
+        kernel = from_instruction_lists("t", [[[load(0x100, [1])]]], regs_per_thread=8)
+        with pytest.raises(ValueError):
+            run_kernel(cfg, kernel)

@@ -1,0 +1,95 @@
+"""Additional workload-generator coverage: WARP scope, strides,
+reuse bursts, weights, and the scramble hash quality."""
+
+from collections import Counter
+
+from repro.gpu.isa import Op
+from repro.workloads.generator import (
+    AppSpec,
+    LoadSpec,
+    Pattern,
+    Scope,
+    _scramble,
+    build_kernel,
+)
+
+
+def spec_with(load, iters=20, warps=2, ctas=2, alu=1):
+    return AppSpec(
+        name="t", description="t", cache_sensitive=True,
+        num_ctas=ctas, warps_per_cta=warps, regs_per_thread=8,
+        iterations=iters, alu_per_iteration=alu, loads=(load,),
+    )
+
+
+def lines_of(kernel, cta, warp):
+    return [
+        a
+        for inst in kernel.materialize(cta, warp)
+        if inst.op is Op.LOAD
+        for a in inst.line_addrs
+    ]
+
+
+class TestWarpScope:
+    def test_warp_regions_disjoint(self):
+        kernel = build_kernel(
+            spec_with(LoadSpec(0x100, Pattern.REUSE, 8, Scope.WARP))
+        )
+        w0 = set(lines_of(kernel, 0, 0))
+        w1 = set(lines_of(kernel, 0, 1))
+        other_cta = set(lines_of(kernel, 1, 0))
+        assert not (w0 & w1)
+        assert not (w0 & other_cta)
+
+
+class TestReuseKnobs:
+    def test_burst_repeats_lines(self):
+        kernel = build_kernel(
+            spec_with(LoadSpec(0x100, Pattern.REUSE, 64, reuse_burst=4), iters=8)
+        )
+        seq = lines_of(kernel, 0, 0)
+        # Bursts of 4 identical addresses.
+        assert seq[0] == seq[1] == seq[2] == seq[3]
+        assert seq[4] == seq[5]
+
+    def test_stride_advances_offset(self):
+        kernel = build_kernel(
+            spec_with(LoadSpec(0x100, Pattern.REUSE, 64, stride=3, reuse_burst=1), iters=4)
+        )
+        seq = lines_of(kernel, 0, 0)
+        assert (seq[1] - seq[0]) % 64 == 3
+
+    def test_weight_multiplies_issues(self):
+        light = build_kernel(spec_with(LoadSpec(0x100, Pattern.REUSE, 8, weight=1)))
+        heavy = build_kernel(spec_with(LoadSpec(0x100, Pattern.REUSE, 8, weight=3)))
+        assert len(lines_of(heavy, 0, 0)) == 3 * len(lines_of(light, 0, 0))
+
+
+class TestScrambleQuality:
+    def test_deterministic(self):
+        assert _scramble(5, 7, 0) == _scramble(5, 7, 0)
+
+    def test_no_linear_structure_in_t(self):
+        """Consecutive iterations must not form a permutation of the
+        region — reuse happens at birthday rate (the regression that
+        motivated the hash)."""
+        ws = 97
+        draws = [_scramble(t, 3, 0) % ws for t in range(4 * ws)]
+        counts = Counter(draws)
+        # A permutation would give every line exactly 4 touches; i.i.d.
+        # draws give a spread including 0-touch and >6-touch lines.
+        assert max(counts.values()) > 6
+        assert len(set(range(ws)) - set(draws)) > 0
+
+    def test_roughly_uniform(self):
+        ws = 64
+        draws = [_scramble(t, 9, 0) % ws for t in range(6400)]
+        counts = Counter(draws)
+        mean = 6400 / ws
+        assert all(0.5 * mean < counts[i] < 1.5 * mean for i in range(ws))
+
+    def test_lanes_decorrelated(self):
+        a = [_scramble(t, 0, 0) % 128 for t in range(100)]
+        b = [_scramble(t, 1, 0) % 128 for t in range(100)]
+        assert sum(x == y for x, y in zip(a, b)) < 10

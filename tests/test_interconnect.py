@@ -1,0 +1,69 @@
+"""Tests for the SM-to-L2 interconnect model."""
+
+import pytest
+
+from dataclasses import replace
+
+from repro.config import scaled_config
+from repro.gpu.gpu import run_kernel
+from repro.gpu.isa import load
+from repro.gpu.trace import from_instruction_lists
+from repro.memory.interconnect import Interconnect
+
+
+class TestInterconnect:
+    def test_idle_traversal_is_pure_latency(self):
+        noc = Interconnect(num_sms=4, latency=12)
+        assert noc.traverse(0, 100) == 112
+
+    def test_injection_port_serializes_one_sm(self):
+        noc = Interconnect(num_sms=4, latency=0, injection_interval=4.0,
+                           crossbar_lines_per_cycle=100.0)
+        first = noc.traverse(0, 0)
+        second = noc.traverse(0, 0)
+        assert second - first >= 3
+
+    def test_other_sm_port_is_independent(self):
+        noc = Interconnect(num_sms=4, latency=0, injection_interval=4.0,
+                           crossbar_lines_per_cycle=100.0)
+        noc.traverse(0, 0)
+        assert noc.traverse(1, 0) == 0
+
+    def test_crossbar_shared_by_all_sms(self):
+        noc = Interconnect(num_sms=4, latency=0, injection_interval=0.01,
+                           crossbar_lines_per_cycle=0.5)
+        arrival = [noc.traverse(sm, 0) for sm in range(4)]
+        assert arrival == sorted(arrival)
+        assert arrival[-1] >= 6  # 4 requests at 2 cycles each
+
+    def test_queue_stats_accumulate(self):
+        noc = Interconnect(num_sms=2, latency=0, crossbar_lines_per_cycle=0.25)
+        for _ in range(10):
+            noc.traverse(0, 0)
+        assert noc.stats.requests == 10
+        assert noc.stats.mean_queue_delay > 0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            Interconnect(num_sms=0)
+        with pytest.raises(ValueError):
+            Interconnect(num_sms=1, injection_interval=0)
+
+    def test_end_to_end_with_noc_enabled(self):
+        cfg = scaled_config(num_sms=2, window_cycles=500)
+        cfg = replace(cfg, gpu=replace(cfg.gpu, noc_enable=True))
+        per_warp = [[[load(0x100, [w * 8 + i]) for i in range(8)] for w in range(2)]]
+        kernel = from_instruction_lists("noc", per_warp, regs_per_thread=8)
+        result = run_kernel(cfg, kernel)
+        assert result.instructions == 2 * 9  # one CTA, two warps
+
+    def test_noc_adds_latency_versus_disabled(self):
+        per_warp = [[[load(0x100, [i]) for i in range(30)] for _ in range(2)]]
+
+        def run(enable):
+            cfg = scaled_config(num_sms=1, window_cycles=500)
+            cfg = replace(cfg, gpu=replace(cfg.gpu, noc_enable=enable))
+            kernel = from_instruction_lists("noc", per_warp, regs_per_thread=8)
+            return run_kernel(cfg, kernel)
+
+        assert run(True).cycles >= run(False).cycles

@@ -1,0 +1,152 @@
+"""Unit tests for the Load Monitor and its selection protocol."""
+
+import pytest
+
+from repro.core.load_monitor import LoadMonitor, MonitorState
+from repro.gpu.isa import hashed_pc
+
+
+def make_lm(threshold=0.20, min_accesses=4):
+    return LoadMonitor(hit_ratio_threshold=threshold, min_accesses=min_accesses)
+
+
+def feed(lm, pc, hits, misses):
+    for _ in range(hits):
+        lm.record_access(pc, True)
+    for _ in range(misses):
+        lm.record_access(pc, False)
+
+
+class TestTableStructure:
+    def test_paper_geometry(self):
+        """32 entries indexed by 5-bit hashed PC (paper Section 4.1)."""
+        lm = make_lm()
+        assert len(lm.entries) == 32
+
+    def test_entry_count_must_match_index_width(self):
+        with pytest.raises(ValueError):
+            LoadMonitor(num_entries=16, hpc_bits=5)
+
+    def test_first_access_stores_full_pc(self):
+        lm = make_lm()
+        lm.record_access(0x1234, True)
+        assert lm.entries[hashed_pc(0x1234)].pc == 0x1234
+
+    def test_storage_bits_matches_paper(self):
+        """Section 4.2: 32 entries x (2 bits + 3 x 32 bits) = 392 bytes."""
+        lm = make_lm()
+        assert lm.storage_bits() / 8 == pytest.approx(392, abs=8)
+
+
+class TestSelectionProtocol:
+    def test_same_set_two_windows_selects(self):
+        lm = make_lm()
+        feed(lm, 0x100, hits=8, misses=2)
+        lm.close_window()
+        feed(lm, 0x100, hits=8, misses=2)
+        state = lm.close_window()
+        assert state is MonitorState.SELECTED
+        assert lm.is_selected(hashed_pc(0x100))
+
+    def test_no_locality_two_windows_disables(self):
+        """Paper: no high-locality load within the first two windows
+        means the application is not cache sensitive."""
+        lm = make_lm()
+        feed(lm, 0x100, hits=0, misses=20)
+        lm.close_window()
+        feed(lm, 0x100, hits=0, misses=20)
+        assert lm.close_window() is MonitorState.DISABLED
+
+    def test_subset_match_does_not_select(self):
+        """Paper: if only a subset of the first window's high-locality
+        loads repeats, nothing is tagged and monitoring continues."""
+        lm = make_lm()
+        feed(lm, 0x100, hits=8, misses=2)
+        feed(lm, 0x204, hits=8, misses=2)
+        lm.close_window()
+        feed(lm, 0x100, hits=8, misses=2)
+        feed(lm, 0x204, hits=0, misses=10)
+        state = lm.close_window()
+        assert state is MonitorState.MONITORING
+
+    def test_monitoring_continues_until_match(self):
+        lm = make_lm()
+        feed(lm, 0x100, hits=8, misses=2)  # window 1: {0x100}
+        lm.close_window()
+        feed(lm, 0x204, hits=8, misses=2)  # window 2: {0x204} - mismatch
+        assert lm.close_window() is MonitorState.MONITORING
+        feed(lm, 0x204, hits=8, misses=2)  # window 3: {0x204} - match
+        assert lm.close_window() is MonitorState.SELECTED
+        assert lm.is_selected(hashed_pc(0x204))
+        assert not lm.is_selected(hashed_pc(0x100))
+
+    def test_threshold_boundary(self):
+        lm = make_lm(threshold=0.20)
+        feed(lm, 0x100, hits=2, misses=8)  # exactly 20%
+        lm.close_window()
+        feed(lm, 0x100, hits=2, misses=8)
+        assert lm.close_window() is MonitorState.SELECTED
+
+    def test_below_threshold_not_high_locality(self):
+        lm = make_lm(threshold=0.20)
+        feed(lm, 0x100, hits=1, misses=9)  # 10%
+        lm.close_window()
+        feed(lm, 0x100, hits=1, misses=9)
+        assert lm.close_window() is MonitorState.DISABLED
+
+    def test_min_accesses_filters_rare_loads(self):
+        lm = make_lm(min_accesses=8)
+        feed(lm, 0x100, hits=3, misses=0)  # only 3 accesses
+        lm.close_window()
+        feed(lm, 0x100, hits=3, misses=0)
+        assert lm.close_window() is MonitorState.DISABLED
+
+    def test_counters_reset_each_window(self):
+        lm = make_lm()
+        feed(lm, 0x100, hits=8, misses=2)
+        lm.close_window()
+        entry = lm.entries[hashed_pc(0x100)]
+        assert entry.accesses == 0
+
+    def test_recording_stops_after_selection(self):
+        lm = make_lm()
+        feed(lm, 0x100, hits=8, misses=2)
+        lm.close_window()
+        feed(lm, 0x100, hits=8, misses=2)
+        lm.close_window()
+        lm.record_access(0x100, True)
+        assert lm.entries[hashed_pc(0x100)].accesses == 0
+
+    def test_discard_window_keeps_protocol_position(self):
+        """Warmup windows are dropped without advancing the two-window
+        protocol."""
+        lm = make_lm()
+        feed(lm, 0x100, hits=0, misses=20)
+        lm.discard_window()
+        assert lm.windows_elapsed == 0
+        feed(lm, 0x100, hits=8, misses=2)
+        lm.close_window()
+        feed(lm, 0x100, hits=8, misses=2)
+        assert lm.close_window() is MonitorState.SELECTED
+
+
+class TestValidBits:
+    def test_valid_shifts_across_windows(self):
+        lm = make_lm()
+        feed(lm, 0x100, hits=8, misses=2)
+        lm.close_window()
+        entry = lm.entries[hashed_pc(0x100)]
+        assert entry.valid == 0b01
+        feed(lm, 0x100, hits=8, misses=2)
+        lm.close_window()
+        assert entry.valid == 0b11
+
+    def test_valid_drops_when_locality_lost(self):
+        lm = make_lm()
+        feed(lm, 0x100, hits=8, misses=2)
+        feed(lm, 0x204, hits=8, misses=2)
+        lm.close_window()
+        feed(lm, 0x100, hits=0, misses=10)
+        feed(lm, 0x204, hits=8, misses=2)
+        lm.close_window()
+        assert lm.entries[hashed_pc(0x100)].valid == 0b10

@@ -1,0 +1,62 @@
+"""Unit tests for the MSHR file (repro.memory.mshr)."""
+
+import pytest
+
+from repro.memory.mshr import MSHRFile
+
+
+class TestAllocation:
+    def test_new_miss_creates_entry(self):
+        mshr = MSHRFile(4)
+        assert mshr.allocate(10, "w0") is True
+        assert mshr.lookup(10)
+        assert mshr.occupancy == 1
+
+    def test_second_miss_merges(self):
+        mshr = MSHRFile(4)
+        mshr.allocate(10, "w0")
+        assert mshr.allocate(10, "w1") is False
+        assert mshr.occupancy == 1
+        assert mshr.merged_requests == 1
+
+    def test_full_file_rejects_new_line(self):
+        mshr = MSHRFile(2)
+        mshr.allocate(1, "a")
+        mshr.allocate(2, "b")
+        assert not mshr.can_allocate(3)
+        with pytest.raises(RuntimeError):
+            mshr.allocate(3, "c")
+
+    def test_full_file_still_merges_inflight_line(self):
+        mshr = MSHRFile(1)
+        mshr.allocate(1, "a")
+        assert mshr.can_allocate(1)
+        assert mshr.allocate(1, "b") is False
+
+
+class TestRelease:
+    def test_release_returns_all_waiters_in_order(self):
+        mshr = MSHRFile(4)
+        mshr.allocate(5, "first")
+        mshr.allocate(5, "second")
+        mshr.allocate(5, "third")
+        assert mshr.release(5) == ["first", "second", "third"]
+        assert mshr.occupancy == 0
+
+    def test_release_unknown_line_is_empty(self):
+        mshr = MSHRFile(4)
+        assert mshr.release(99) == []
+
+    def test_capacity_reusable_after_release(self):
+        mshr = MSHRFile(1)
+        mshr.allocate(1, "a")
+        mshr.release(1)
+        assert mshr.allocate(2, "b") is True
+
+    def test_paper_l1_mshr_count(self):
+        """Table 1: 64 MSHRs per SM L1."""
+        mshr = MSHRFile(64)
+        for i in range(64):
+            mshr.allocate(i, f"w{i}")
+        assert not mshr.can_allocate(64)
+        assert mshr.occupancy == 64

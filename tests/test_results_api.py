@@ -1,0 +1,62 @@
+"""Tests for the SimulationResult public API and example scripts'
+syntactic health."""
+
+import pathlib
+import py_compile
+
+import pytest
+
+from repro.config import scaled_config
+from repro.gpu.gpu import run_kernel
+from repro.gpu.isa import alu, load
+from repro.gpu.trace import from_instruction_lists
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    cfg = scaled_config(num_sms=2, window_cycles=500)
+    per_warp = [
+        [[load(0x100, [w * 3 + i]) for i in range(4)] + [alu()] for w in range(2)]
+        for _ in range(4)
+    ]
+    kernel = from_instruction_lists("api", per_warp, regs_per_thread=8)
+    return run_kernel(cfg, kernel)
+
+
+class TestSimulationResult:
+    def test_instruction_count(self, result):
+        assert result.instructions == 4 * 2 * 6  # 4 loads + alu + exit
+
+    def test_ipc_positive(self, result):
+        assert result.ipc > 0
+
+    def test_breakdown_fractions(self, result):
+        breakdown = result.request_breakdown
+        assert set(breakdown) == {"hit", "miss", "bypass", "reg_hit"}
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+
+    def test_miss_classification_partitions(self, result):
+        total = result.cold_miss_ratio + result.capacity_conflict_miss_ratio
+        assert 0.0 <= total <= 1.0
+
+    def test_traffic_accounted(self, result):
+        assert result.traffic.demand_read_lines > 0
+        assert result.traffic.total_lines >= result.traffic.demand_read_lines
+
+    def test_per_sm_stats_align_with_num_sms(self, result):
+        assert len(result.sm_stats) == 2
+        assert len(result.l1_stats) == 2
+        assert len(result.rf_stats) == 2
+
+
+class TestExamples:
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+    def test_example_compiles(self, path):
+        py_compile.compile(str(path), doraise=True)
+
+    def test_at_least_three_examples(self):
+        assert len(EXAMPLES) >= 3

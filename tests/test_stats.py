@@ -1,0 +1,119 @@
+"""Tests for statistics collection (SM stats, per-load tracking)."""
+
+import pytest
+
+from repro.gpu.stats import LoadBehavior, LoadTracker, SMStats
+
+
+class TestSMStats:
+    def test_ipc(self):
+        s = SMStats(instructions=500, cycles=250)
+        assert s.ipc == 2.0
+
+    def test_ipc_zero_cycles(self):
+        assert SMStats().ipc == 0.0
+
+    def test_request_breakdown_sums_to_one(self):
+        s = SMStats(l1_hits=30, l1_misses=50, victim_hits=15, bypasses=5)
+        breakdown = s.request_breakdown
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+        assert breakdown["reg_hit"] == pytest.approx(0.15)
+
+    def test_request_breakdown_empty(self):
+        assert SMStats().request_breakdown == {
+            "hit": 0.0, "miss": 0.0, "bypass": 0.0, "reg_hit": 0.0
+        }
+
+
+class TestLoadBehavior:
+    def test_reuse_detection(self):
+        b = LoadBehavior()
+        b.record(1, hit=False)
+        b.record(1, hit=True)
+        b.record(2, hit=False)
+        assert b.lines_reused == {1}
+        assert b.lines_touched == {1, 2}
+        assert b.reused_bytes == 128
+        assert b.touched_bytes == 256
+
+    def test_miss_ratio(self):
+        b = LoadBehavior()
+        for i in range(8):
+            b.record(i, hit=False)
+        b.record(0, hit=True)
+        b.record(1, hit=True)
+        assert b.miss_ratio == pytest.approx(0.8)
+
+    def test_window_reset(self):
+        b = LoadBehavior()
+        b.record(1, hit=True)
+        b.reset_window()
+        assert b.accesses == 0
+        assert not b.lines_touched
+
+
+class TestStreamingClassification:
+    """Paper: a load streams when >95% of accesses in a window touch
+    never-seen lines (miss ratio with an infinite cache above 95%)."""
+
+    def test_pure_stream_detected(self):
+        b = LoadBehavior()
+        for i in range(100):
+            b.record(i, hit=False)
+        assert LoadTracker.is_streaming_window(b)
+
+    def test_reuse_heavy_not_streaming(self):
+        b = LoadBehavior()
+        for _ in range(10):
+            for i in range(5):
+                b.record(i, hit=True)
+        assert not LoadTracker.is_streaming_window(b)
+
+    def test_empty_window_not_streaming(self):
+        assert not LoadTracker.is_streaming_window(LoadBehavior())
+
+
+class TestLoadTracker:
+    def test_windows_roll_over(self):
+        tracker = LoadTracker(window_cycles=100)
+        tracker.record(pc=0x100, line_addr=1, hit=False, cycle=10)
+        tracker.record(pc=0x100, line_addr=1, hit=True, cycle=50)
+        tracker.record(pc=0x100, line_addr=2, hit=False, cycle=150)  # new window
+        tracker.close_window()
+        assert len(tracker.window_reused_bytes[0x100]) == 2
+
+    def test_top_loads_reused_working_set(self):
+        tracker = LoadTracker(window_cycles=1000)
+        # Load A: 3 reused lines; load B: 1 reused line.
+        for line in (1, 2, 3):
+            tracker.record(0x100, line, False, 0)
+            tracker.record(0x100, line, True, 1)
+        tracker.record(0x204, 50, False, 0)
+        tracker.record(0x204, 50, True, 1)
+        tracker.close_window()
+        assert tracker.top_loads_reused_working_set(4) == 4 * 128
+
+    def test_top_n_limits_loads(self):
+        tracker = LoadTracker(window_cycles=1000)
+        for pc in range(8):
+            tracker.record(pc, pc * 100, False, 0)
+            tracker.record(pc, pc * 100, True, 1)
+        tracker.close_window()
+        top1 = tracker.top_loads_reused_working_set(1)
+        top8 = tracker.top_loads_reused_working_set(8)
+        assert top1 == 128
+        assert top8 == 8 * 128
+
+    def test_streaming_bytes_accumulated(self):
+        tracker = LoadTracker(window_cycles=1000)
+        for i in range(200):
+            tracker.record(0x100, i, False, 0)
+        tracker.close_window()
+        assert tracker.mean_streaming_bytes() == 200 * 128
+
+    def test_streaming_excluded_from_reused_working_set(self):
+        tracker = LoadTracker(window_cycles=1000)
+        for i in range(200):
+            tracker.record(0x100, i, False, 0)
+        tracker.close_window()
+        assert tracker.top_loads_reused_working_set(4) == 0

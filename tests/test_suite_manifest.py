@@ -1,0 +1,81 @@
+"""Manifest pinning for the 20-app suite.
+
+The figure benchmarks compare architectures *on these workloads*; a
+silent change to an app's parameters would shift every measured number
+without any test noticing. This file pins the structural manifest —
+grid shapes, register pressure classes, load patterns — so calibration
+changes are deliberate (and update this manifest alongside).
+"""
+
+from repro.config import GPUConfig
+from repro.gpu.sm import SM
+from repro.workloads.generator import Pattern
+from repro.workloads.suite import APP_SPECS, kernel_for
+
+#: name -> (num_ctas, warps_per_cta, regs_per_thread, n_loads, has_stream)
+MANIFEST = {
+    "S2": (192, 4, 16, 3, False),
+    "BI": (192, 4, 16, 3, True),
+    "AT": (192, 4, 16, 2, False),
+    "S1": (192, 4, 16, 2, False),
+    "CF": (192, 4, 24, 3, True),
+    "GE": (160, 4, 16, 2, False),
+    "KM": (192, 4, 16, 3, True),
+    "BC": (192, 4, 24, 3, True),
+    "MV": (192, 4, 16, 2, False),
+    "PF": (192, 4, 24, 3, True),
+    "BG": (96, 8, 16, 2, True),
+    "LI": (96, 8, 16, 2, True),
+    "SR2": (96, 8, 24, 2, True),
+    "SP": (96, 8, 16, 3, True),
+    "BR": (96, 8, 16, 2, True),
+    "FD": (96, 8, 24, 2, True),
+    "GA": (160, 4, 16, 2, False),
+    "2D": (96, 8, 16, 2, True),
+    "SR1": (96, 8, 24, 2, False),
+    "HS": (96, 8, 32, 2, True),
+}
+
+
+class TestManifest:
+    def test_every_app_matches_pinned_shape(self):
+        for name, (ctas, warps, regs, n_loads, has_stream) in MANIFEST.items():
+            spec = APP_SPECS[name]
+            assert spec.num_ctas == ctas, name
+            assert spec.warps_per_cta == warps, name
+            assert spec.regs_per_thread == regs, name
+            assert len(spec.loads) == n_loads, name
+            streams = any(l.pattern is Pattern.STREAM for l in spec.loads)
+            assert streams == has_stream, name
+
+    def test_manifest_covers_whole_suite(self):
+        assert set(MANIFEST) == set(APP_SPECS)
+
+    def test_occupancy_classes(self):
+        """Sensitive apps run 16 CTAs/SM (fine throttle steps); the
+        8-warp insensitive apps run 8."""
+        cfg = GPUConfig()
+        for name, spec in APP_SPECS.items():
+            occupancy = SM.hardware_occupancy(cfg, kernel_for(name, 0.05))
+            if spec.warps_per_cta == 4 and spec.regs_per_thread == 16:
+                assert occupancy == 16, name
+            elif spec.warps_per_cta == 8:
+                assert occupancy == 8, name
+
+    def test_first_instructions_stable(self):
+        """Spot-pin the first memory access of a few apps — a cheap
+        tripwire for generator-level drift."""
+        expectations = {}
+        for name in ("S2", "KM", "LI"):
+            kernel = kernel_for(name, scale=0.05)
+            first_load = next(
+                i for i in kernel.materialize(0, 0) if i.is_memory
+            )
+            expectations[name] = (first_load.pc, first_load.line_addrs)
+        # Re-derive: identical inputs must give identical streams.
+        for name, (pc, addrs) in expectations.items():
+            kernel = kernel_for(name, scale=0.05)
+            first_load = next(
+                i for i in kernel.materialize(0, 0) if i.is_memory
+            )
+            assert (first_load.pc, first_load.line_addrs) == (pc, addrs)

@@ -1,0 +1,112 @@
+"""Tests for kernel trace serialization (save/load round trips)."""
+
+import json
+
+import pytest
+
+from repro.config import scaled_config
+from repro.gpu.gpu import run_kernel
+from repro.gpu.isa import Op, alu, load, store
+from repro.gpu.trace import from_instruction_lists
+from repro.workloads.suite import kernel_for
+from repro.workloads.traceio import load_trace, save_trace
+
+
+def small_kernel():
+    per_warp = [
+        [
+            [load(0x100, [w * 5 + i]) for i in range(3)]
+            + [alu(), store(0x200, [w + 90])]
+            for w in range(2)
+        ]
+        for _ in range(2)
+    ]
+    return from_instruction_lists("roundtrip", per_warp, regs_per_thread=12)
+
+
+class TestRoundTrip:
+    def test_save_returns_instruction_count(self, tmp_path):
+        path = tmp_path / "k.jsonl"
+        count = save_trace(small_kernel(), path)
+        assert count == 2 * 2 * 6  # 3 loads + alu + store + exit
+
+    def test_roundtrip_preserves_streams(self, tmp_path):
+        path = tmp_path / "k.jsonl"
+        original = small_kernel()
+        save_trace(original, path)
+        loaded = load_trace(path)
+        for cta in range(2):
+            for warp in range(2):
+                a = original.materialize(cta, warp)
+                b = loaded.materialize(cta, warp)
+                assert [(i.op, i.pc, i.line_addrs) for i in a] == [
+                    (i.op, i.pc, i.line_addrs) for i in b
+                ]
+
+    def test_roundtrip_preserves_metadata(self, tmp_path):
+        path = tmp_path / "k.jsonl"
+        save_trace(small_kernel(), path)
+        loaded = load_trace(path)
+        assert loaded.name == "roundtrip"
+        assert loaded.num_ctas == 2
+        assert loaded.warps_per_cta == 2
+        assert loaded.regs_per_thread == 12
+
+    def test_loaded_kernel_simulates_identically(self, tmp_path):
+        path = tmp_path / "k.jsonl"
+        cfg = scaled_config(num_sms=1, window_cycles=500)
+        original = small_kernel()
+        save_trace(original, path)
+        loaded = load_trace(path)
+        r1 = run_kernel(cfg, small_kernel())
+        r2 = run_kernel(cfg, loaded)
+        assert r1.cycles == r2.cycles
+        assert r1.instructions == r2.instructions
+
+    def test_suite_app_roundtrip(self, tmp_path):
+        path = tmp_path / "app.jsonl"
+        kernel = kernel_for("2D", scale=0.05)
+        save_trace(kernel, path)
+        loaded = load_trace(path)
+        a = kernel.materialize(3, 1)
+        b = loaded.materialize(3, 1)
+        assert [(i.op, i.line_addrs) for i in a] == [(i.op, i.line_addrs) for i in b]
+
+
+class TestValidation:
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_missing_header_field_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"name": "x"}) + "\n")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_missing_warp_stream_rejected(self, tmp_path):
+        path = tmp_path / "partial.jsonl"
+        header = {"name": "p", "num_ctas": 2, "warps_per_cta": 1, "regs_per_thread": 8}
+        record = {"cta": 0, "warp": 0, "insts": [["alu", 0]]}
+        path.write_text(json.dumps(header) + "\n" + json.dumps(record) + "\n")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_unknown_opcode_rejected(self, tmp_path):
+        path = tmp_path / "op.jsonl"
+        header = {"name": "p", "num_ctas": 1, "warps_per_cta": 1, "regs_per_thread": 8}
+        record = {"cta": 0, "warp": 0, "insts": [["jump", 0]]}
+        path.write_text(json.dumps(header) + "\n" + json.dumps(record) + "\n")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_exit_appended_when_missing(self, tmp_path):
+        path = tmp_path / "noexit.jsonl"
+        header = {"name": "p", "num_ctas": 1, "warps_per_cta": 1, "regs_per_thread": 8}
+        record = {"cta": 0, "warp": 0, "insts": [["alu", 0]]}
+        path.write_text(json.dumps(header) + "\n" + json.dumps(record) + "\n")
+        loaded = load_trace(path)
+        insts = loaded.materialize(0, 0)
+        assert insts[-1].op is Op.EXIT
