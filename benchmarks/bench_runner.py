@@ -1,0 +1,86 @@
+"""Benchmarks for the parallel experiment engine itself.
+
+Two claims are demonstrated here (and in the CI log):
+
+* **Warm-cache speedup** — rerunning ``run_fig12`` against a populated
+  persistent cache completes at least 5x faster than the cold run,
+  because every simulation resolves to an unpickle.
+* **Parallel speedup** — on a multi-core host, a cold run fanned out
+  over ``workers=2`` beats ``workers=1`` wall-clock. On single-core
+  machines the wall-clocks are printed but not asserted (there is
+  nothing to win by oversubscribing one CPU with process overhead).
+
+These run the real figure-12 pipeline (baseline, PCAL, CERF,
+Linebacker and the Best-SWL oracle sweep per app) on a reduced
+configuration so the cold run stays in benchmark territory rather
+than CI-timeout territory.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.analysis import ExperimentContext
+from repro.analysis.experiments import run_fig12
+from repro.config import scaled_config
+from repro.runner import ExperimentRunner, ResultCache
+
+APPS = ("S2", "KM", "LI")
+SCALE = 0.1
+CONFIG = dict(num_sms=1, window_cycles=600)
+
+
+def _context(cache_dir, workers=1, use_cache=True) -> ExperimentContext:
+    cache = ResultCache(cache_dir) if use_cache else None
+    return ExperimentContext(
+        config=scaled_config(**CONFIG),
+        scale=SCALE,
+        apps=APPS,
+        runner=ExperimentRunner(workers=workers, cache=cache, use_cache=use_cache),
+    )
+
+
+def test_warm_cache_rerun_is_5x_faster(tmp_path):
+    cache_dir = tmp_path / "cache"
+
+    started = time.perf_counter()
+    cold_data = run_fig12(_context(cache_dir))
+    cold = time.perf_counter() - started
+
+    # A fresh context + runner over the same cache directory models a
+    # process restart: empty memo, warm disk.
+    warm_ctx = _context(cache_dir)
+    started = time.perf_counter()
+    warm_data = run_fig12(warm_ctx)
+    warm = time.perf_counter() - started
+
+    print(
+        f"\nfig12 on {len(APPS)} apps: cold {cold:.2f}s, warm {warm:.3f}s "
+        f"({cold / warm:.0f}x); warm runner: {warm_ctx.runner.stats.summary()}"
+    )
+    assert warm_ctx.runner.stats.simulated == 0, "warm run must be pure cache"
+    assert warm_data == cold_data, "cached statistics must be identical"
+    assert cold >= 5.0 * warm, f"warm rerun only {cold / warm:.1f}x faster"
+
+
+def test_parallel_cold_run_beats_serial(tmp_path):
+    started = time.perf_counter()
+    serial_data = run_fig12(_context(tmp_path / "serial", workers=1))
+    serial = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel_data = run_fig12(_context(tmp_path / "parallel", workers=2))
+    parallel = time.perf_counter() - started
+
+    cores = os.cpu_count() or 1
+    print(
+        f"\nfig12 cold on {len(APPS)} apps: workers=1 {serial:.2f}s, "
+        f"workers=2 {parallel:.2f}s ({cores} cores)"
+    )
+    assert parallel_data == serial_data, "fan-out must not change statistics"
+    if cores < 2:
+        pytest.skip(f"single-core host ({cores} CPU): no parallel win to assert")
+    assert parallel < serial, (
+        f"workers=2 ({parallel:.2f}s) should beat workers=1 ({serial:.2f}s)"
+    )

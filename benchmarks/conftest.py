@@ -3,14 +3,20 @@
 All figure benchmarks share one :class:`ExperimentContext`, so common
 simulations (baseline, Best-SWL oracle sweep, Linebacker, CERF, PCAL
 per app) run once per pytest session regardless of how many figures
-are regenerated.
+are regenerated — and, through the experiment runner's persistent
+cache, once per *machine* until the sources change.
 
 Environment knobs:
 
-* ``REPRO_BENCH_SCALE``  — workload iteration scale (default 0.5; use
+* ``REPRO_BENCH_SCALE``   — workload iteration scale (default 0.5; use
   1.0 for the full-length traces, 0.2 for a smoke run).
-* ``REPRO_BENCH_APPS``   — comma-separated app subset (default: all 20).
-* ``REPRO_BENCH_SMS``    — number of SMs simulated (default 4).
+* ``REPRO_BENCH_APPS``    — comma-separated app subset (default: all 20).
+* ``REPRO_BENCH_SMS``     — number of SMs simulated (default 4).
+* ``REPRO_BENCH_WORKERS`` — simulation processes for the figure
+  prefetch waves (default: ``$REPRO_WORKERS`` or 1).
+* ``REPRO_NO_CACHE``      — disable the persistent result cache.
+* ``REPRO_CACHE_DIR``     — result cache directory (default
+  ``~/.cache/repro``).
 """
 
 import os
@@ -19,6 +25,7 @@ import pytest
 
 from repro.analysis import ExperimentContext
 from repro.config import scaled_config
+from repro.runner import ExperimentRunner, default_workers
 from repro.workloads import ALL_APPS
 
 
@@ -37,10 +44,12 @@ def _apps() -> tuple[str, ...]:
 def ctx() -> ExperimentContext:
     scale = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
     num_sms = int(os.environ.get("REPRO_BENCH_SMS", "4"))
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", str(default_workers())))
     return ExperimentContext(
         config=scaled_config(num_sms=num_sms),
         scale=scale,
         apps=_apps(),
+        runner=ExperimentRunner(workers=workers),
     )
 
 

@@ -1,13 +1,21 @@
 """Command-line interface: regenerate any paper figure from a shell.
 
 Usage:
-    python -m repro list
-    python -m repro fig12 --apps S2,KM,LI --scale 0.3
-    python -m repro fig14 --sms 2
+    python -m repro list [--archs]
+    python -m repro run fig12 --apps S2,KM,LI --scale 0.3 --workers 4
+    python -m repro run fig14 --sms 2 --no-cache
     python -m repro overhead
+    python -m repro cache info
+    python -m repro cache clear
 
-Each figure command runs the same experiment code the benchmark
-harness uses and prints the paper-style table.
+``python -m repro fig12`` (the historical positional form) keeps
+working as an alias for ``run fig12``.
+
+Figure runs go through the parallel experiment runner: ``--workers N``
+fans simulations out over N processes, and results are memoized in the
+persistent cache (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``) so a
+repeat of the same figure is near-instant. ``--no-cache`` bypasses the
+persistent layer for a guaranteed-fresh run.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ from repro.analysis import (
 )
 from repro.analysis import experiments as exp
 from repro.config import scaled_config
+from repro.runner import ARCHITECTURES, ExperimentRunner, ResultCache, default_workers
 from repro.workloads import ALL_APPS
 
 #: figure name -> (runner, description)
@@ -59,50 +68,145 @@ def _print_result(name: str, data) -> None:
         print(format_series(name, data))
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(prog="python -m repro")
-    parser.add_argument("command", help="'list', 'overhead', or a figure id (fig1..fig18)")
-    parser.add_argument("--apps", default="", help="comma-separated app subset")
-    parser.add_argument("--scale", type=float, default=0.5, help="workload scale")
-    parser.add_argument("--sms", type=int, default=4, help="number of SMs")
-    args = parser.parse_args(argv)
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's figures and tables.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
 
-    if args.command == "list":
-        for name, (_, description) in FIGURES.items():
-            print(f"{name:7s} {description}")
-        return 0
-    if args.command == "overhead":
-        overhead = storage_overhead()
-        print(format_series("Section 4.2 storage overhead (bytes)", {
-            "HPC fields": overhead.hpc_fields,
-            "Load Monitor": overhead.load_monitor,
-            "IPC monitor": overhead.ipc_monitor,
-            "CTA manager": overhead.cta_manager,
-            "Per-CTA Info": overhead.per_cta_info,
-            "VTT": overhead.vtt,
-            "buffer": overhead.buffer,
-            "total (KB)": overhead.total_kb,
+    run_p = sub.add_parser("run", help="regenerate one figure")
+    run_p.add_argument("figure", help="a figure id (fig1..fig18); see 'list'")
+    run_p.add_argument("--apps", default="", help="comma-separated app subset")
+    run_p.add_argument("--scale", type=float, default=0.5, help="workload scale")
+    run_p.add_argument("--sms", type=int, default=4, help="number of SMs")
+    run_p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="simulation processes (default: $REPRO_WORKERS or 1)",
+    )
+    run_p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the persistent result cache",
+    )
+    run_p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+
+    list_p = sub.add_parser("list", help="list figures (and architectures)")
+    list_p.add_argument(
+        "--archs", action="store_true", help="also list registered architectures"
+    )
+
+    sub.add_parser("overhead", help="Section 4.2 storage overhead inventory")
+
+    cache_p = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache_p.add_argument("action", choices=("info", "clear"))
+    cache_p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    return parser
+
+
+def _cmd_list(args) -> int:
+    for name, (_, description) in FIGURES.items():
+        print(f"{name:7s} {description}")
+    if args.archs:
+        print()
+        for name, arch in sorted(ARCHITECTURES.items()):
+            print(f"{name:24s} {arch.description}")
+    return 0
+
+
+def _cmd_overhead() -> int:
+    overhead = storage_overhead()
+    print(format_series("Section 4.2 storage overhead (bytes)", {
+        "HPC fields": overhead.hpc_fields,
+        "Load Monitor": overhead.load_monitor,
+        "IPC monitor": overhead.ipc_monitor,
+        "CTA manager": overhead.cta_manager,
+        "Per-CTA Info": overhead.per_cta_info,
+        "VTT": overhead.vtt,
+        "buffer": overhead.buffer,
+        "total (KB)": overhead.total_kb,
+    }, precision=1))
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.action == "info":
+        info = cache.info()
+        print(format_series("result cache", {
+            "entries": info.entries,
+            "size (KB)": info.total_bytes / 1024,
         }, precision=1))
+        print(f"directory: {info.root}", file=sys.stderr)
         return 0
-    if args.command not in FIGURES:
-        parser.error(f"unknown command {args.command!r}; try 'list'")
+    removed = cache.clear()
+    print(f"removed {removed} cache entries from {cache.root}")
+    return 0
 
+
+def _cmd_run(args, parser: argparse.ArgumentParser) -> int:
+    if args.figure not in FIGURES:
+        parser.error(f"unknown figure {args.figure!r}; try 'list'")
     apps = tuple(a for a in args.apps.split(",") if a) or ALL_APPS
     unknown = set(apps) - set(ALL_APPS)
     if unknown:
         parser.error(f"unknown apps: {sorted(unknown)}")
 
-    ctx = ExperimentContext(
-        config=scaled_config(num_sms=args.sms), scale=args.scale, apps=apps
+    workers = args.workers if args.workers is not None else default_workers()
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    runner = ExperimentRunner(
+        workers=workers, cache=cache, use_cache=not args.no_cache
     )
-    runner, description = FIGURES[args.command]
-    print(f"running {args.command} ({description}) on {len(apps)} apps "
-          f"at scale {args.scale} with {args.sms} SMs...", file=sys.stderr)
+    ctx = ExperimentContext(
+        config=scaled_config(num_sms=args.sms),
+        scale=args.scale,
+        apps=apps,
+        runner=runner,
+    )
+    figure_runner, description = FIGURES[args.figure]
+    print(
+        f"running {args.figure} ({description}) on {len(apps)} apps "
+        f"at scale {args.scale} with {args.sms} SMs, {workers} worker(s), "
+        f"cache {'off' if args.no_cache else 'on'}...",
+        file=sys.stderr,
+    )
     started = time.time()
-    data = runner(ctx)
-    _print_result(args.command, data)
-    print(f"\n[{time.time() - started:.0f}s]", file=sys.stderr)
+    data = figure_runner(ctx)
+    _print_result(args.figure, data)
+    print(
+        f"\n[{time.time() - started:.0f}s; {runner.stats.summary()}]",
+        file=sys.stderr,
+    )
     return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(argv) if argv is not None else sys.argv[1:]
+    # Historical alias: `python -m repro fig12 ...` == `run fig12 ...`.
+    if argv and argv[0] not in ("run", "list", "overhead", "cache") and not (
+        argv[0].startswith("-")
+    ):
+        argv = ["run", *argv]
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "overhead":
+        return _cmd_overhead()
+    if args.command == "cache":
+        return _cmd_cache(args)
+    return _cmd_run(args, parser)
 
 
 if __name__ == "__main__":

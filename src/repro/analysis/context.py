@@ -1,170 +1,152 @@
-"""Shared experiment context.
+"""Shared experiment context, fronted by the architecture registry.
 
 Every figure in the paper's evaluation normalizes against some common
 set of runs (baseline, Best-SWL, Linebacker, CERF, PCAL). The context
-memoizes each (app, architecture) simulation within a process so the
-benchmark harness can regenerate all figures without re-simulating the
-same configuration dozens of times.
+names those runs through the string-keyed
+:data:`~repro.runner.registry.ARCHITECTURES` registry —
+``ctx.run(app, arch, **overrides)`` — and delegates all execution and
+memoization to a :class:`~repro.runner.engine.ExperimentRunner`, which
+layers an in-process memo over the persistent on-disk result cache and
+(optionally) a process pool. Regenerating all figures therefore
+simulates each configuration at most once per process, and a warm
+cache makes repeat runs near-instant.
+
+The one-method-per-architecture API (``ctx.baseline(app)``,
+``ctx.pcal(app)``, ...) survives as thin deprecated wrappers over
+``ctx.run``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Callable, Optional
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
 
-from repro.baselines.cache_ext import run_cache_ext, run_swl_cache_ext
-from repro.baselines.cerf import cerf_factory
-from repro.baselines.pcal import pcal_factory
-from repro.baselines.swl import BestSWLResult, best_swl
+from repro.baselines.swl import BestSWLResult
 from repro.config import LinebackerConfig, SimulationConfig, scaled_config
-from repro.core.linebacker import linebacker_factory
-from repro.gpu.gpu import SimulationResult, run_kernel
-from repro.gpu.trace import KernelTrace
+from repro.gpu.gpu import SimulationResult
+from repro.runner import ExperimentRunner, JobSpec
 from repro.workloads.suite import ALL_APPS, kernel_for
 
 
 @dataclass
 class ExperimentContext:
-    """Memoized simulation runs for one (config, workload-scale) pair."""
+    """Registry-driven simulation runs for one (config, scale) pair."""
 
     config: SimulationConfig = field(default_factory=scaled_config)
     scale: float = 1.0
     apps: tuple[str, ...] = ALL_APPS
-    _kernels: dict[str, KernelTrace] = field(default_factory=dict)
-    _results: dict[tuple, SimulationResult] = field(default_factory=dict)
-    _best_swl: dict[tuple, BestSWLResult] = field(default_factory=dict)
+    runner: ExperimentRunner = field(default_factory=ExperimentRunner)
+    _kernels: dict = field(default_factory=dict)
 
-    def kernel(self, app: str) -> KernelTrace:
+    def kernel(self, app: str):
         if app not in self._kernels:
             self._kernels[app] = kernel_for(app, self.scale)
         return self._kernels[app]
 
-    def _memo(self, key: tuple, run: Callable[[], SimulationResult]) -> SimulationResult:
-        if key not in self._results:
-            self._results[key] = run()
-        return self._results[key]
-
-    # -- architectures ------------------------------------------------------
-    def baseline(self, app: str, track_loads: bool = False) -> SimulationResult:
-        key = ("baseline", app, track_loads)
-        return self._memo(
-            key, lambda: run_kernel(self.config, self.kernel(app), track_loads=track_loads)
+    # -- registry API --------------------------------------------------------
+    def spec(self, app: str, arch: str, **overrides: Any) -> JobSpec:
+        """The content-hashed job naming one (app, arch) simulation."""
+        return JobSpec.build(
+            app=app,
+            arch=arch,
+            config=self.config,
+            scale=self.scale,
+            overrides=overrides,
         )
 
+    def run(self, app: str, arch: str, **overrides: Any):
+        """Run (or recall) one architecture on one app.
+
+        ``arch`` is a key of :data:`repro.runner.ARCHITECTURES`;
+        ``overrides`` are forwarded to the architecture's run function
+        (e.g. ``track_loads=True`` or ``lb_config=...``) and are part
+        of the memo/cache key.
+        """
+        return self.runner.run(self.spec(app, arch, **overrides))
+
+    def run_many(self, jobs: Iterable) -> list:
+        """Resolve a batch of ``(app, arch)`` or ``(app, arch, overrides)``
+        tuples at once — the fan-out point for parallel execution."""
+        specs = []
+        for job in jobs:
+            app, arch, *rest = job
+            overrides = rest[0] if rest else {}
+            specs.append(self.spec(app, arch, **overrides))
+        return self.runner.run_many(specs)
+
+    def prefetch(self, archs: Iterable[str], apps: Optional[Iterable[str]] = None) -> None:
+        """Warm the memo for ``archs`` x ``apps`` in one parallel wave."""
+        targets = tuple(apps) if apps is not None else self.apps
+        self.run_many([(app, arch) for app in targets for arch in archs])
+
+    # -- deprecated one-method-per-architecture wrappers ---------------------
+    @staticmethod
+    def _deprecated(name: str, replacement: str) -> None:
+        warnings.warn(
+            f"ExperimentContext.{name}() is deprecated; use {replacement}",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def baseline(self, app: str, track_loads: bool = False) -> SimulationResult:
+        self._deprecated("baseline", "ctx.run(app, 'baseline')")
+        if track_loads:
+            return self.run(app, "baseline", track_loads=True)
+        return self.run(app, "baseline")
+
     def best_swl(self, app: str) -> BestSWLResult:
-        key = (app, self.scale, id(self.config))
-        if key not in self._best_swl:
-            self._best_swl[key] = best_swl(self.config, self.kernel(app))
-        return self._best_swl[key]
+        self._deprecated("best_swl", "ctx.run(app, 'best_swl')")
+        return self.run(app, "best_swl")
 
     def linebacker(
         self, app: str, lb_config: Optional[LinebackerConfig] = None
     ) -> SimulationResult:
-        lb = lb_config or self.config.linebacker
-        key = ("lb", app, lb)
-        return self._memo(
-            key,
-            lambda: run_kernel(
-                self.config, self.kernel(app), extension_factory=linebacker_factory(lb)
-            ),
-        )
+        self._deprecated("linebacker", "ctx.run(app, 'linebacker')")
+        if lb_config is None:
+            return self.run(app, "linebacker")
+        return self.run(app, "linebacker", lb_config=lb_config)
 
     def victim_caching(self, app: str) -> SimulationResult:
-        """Figure 11's 'Victim Caching': keep everything, no throttling."""
-        lb = replace(
-            self.config.linebacker, enable_selective=False, enable_throttling=False
-        )
-        return self.linebacker(app, lb)
+        self._deprecated("victim_caching", "ctx.run(app, 'victim_caching')")
+        return self.run(app, "victim_caching")
 
     def selective_victim_caching(self, app: str) -> SimulationResult:
-        """Figure 11's 'Selective Victim Caching': SUR space only."""
-        lb = replace(self.config.linebacker, enable_throttling=False)
-        return self.linebacker(app, lb)
+        self._deprecated(
+            "selective_victim_caching", "ctx.run(app, 'selective_victim_caching')"
+        )
+        return self.run(app, "selective_victim_caching")
 
     def pcal(self, app: str) -> SimulationResult:
-        key = ("pcal", app)
-        return self._memo(
-            key,
-            lambda: run_kernel(
-                self.config,
-                self.kernel(app),
-                extension_factory=pcal_factory(self.config.linebacker),
-            ),
-        )
+        self._deprecated("pcal", "ctx.run(app, 'pcal')")
+        return self.run(app, "pcal")
 
     def cerf(self, app: str) -> SimulationResult:
-        key = ("cerf", app)
-        return self._memo(
-            key,
-            lambda: run_kernel(
-                self.config,
-                self.kernel(app),
-                extension_factory=cerf_factory(self.config.linebacker),
-            ),
-        )
+        self._deprecated("cerf", "ctx.run(app, 'cerf')")
+        return self.run(app, "cerf")
 
     def pcal_svc(self, app: str) -> SimulationResult:
-        """Figure 15's PCAL+SVC: bypass throttling + SUR victim cache."""
-        lb = replace(self.config.linebacker, enable_throttling=False)
-        key = ("pcal_svc", app)
-        return self._memo(
-            key,
-            lambda: run_kernel(
-                self.config,
-                self.kernel(app),
-                extension_factory=linebacker_factory(lb, enable_bypass_throttling=True),
-            ),
-        )
+        self._deprecated("pcal_svc", "ctx.run(app, 'pcal_svc')")
+        return self.run(app, "pcal_svc")
 
     def pcal_cerf(self, app: str) -> SimulationResult:
-        """Figure 15's PCAL+CERF: bypass throttling over a CERF cache."""
-        key = ("pcal_cerf", app)
-
-        def run() -> SimulationResult:
-            from repro.baselines.cerf import CERFExtension
-
-            def factory():
-                ext = CERFExtension(self.config.linebacker)
-                # Graft PCAL's bypass throttler onto CERF.
-                from repro.core.linebacker import BypassThrottler
-
-                ext.enable_bypass = True
-                ext.bypass = BypassThrottler(
-                    self.config.linebacker.ipc_upper_bound,
-                    self.config.linebacker.ipc_lower_bound,
-                )
-                return ext
-
-            return run_kernel(self.config, self.kernel(app), extension_factory=factory)
-
-        return self._memo(key, run)
+        self._deprecated("pcal_cerf", "ctx.run(app, 'pcal_cerf')")
+        return self.run(app, "pcal_cerf")
 
     def cache_ext(self, app: str) -> SimulationResult:
-        key = ("cache_ext", app)
-        return self._memo(key, lambda: run_cache_ext(self.config, self.kernel(app)))
+        self._deprecated("cache_ext", "ctx.run(app, 'cache_ext')")
+        return self.run(app, "cache_ext")
 
     def best_swl_cache_ext(self, app: str) -> SimulationResult:
-        key = ("bswl_cache_ext", app)
-        limit = self.best_swl(app).best_limit
-        return self._memo(
-            key, lambda: run_swl_cache_ext(self.config, self.kernel(app), limit)
+        self._deprecated(
+            "best_swl_cache_ext", "ctx.run(app, 'best_swl_cache_ext')"
         )
+        limit = self.run(app, "best_swl").best_limit
+        return self.run(app, "best_swl_cache_ext", cta_limit=limit)
 
     def lb_cache_ext(self, app: str) -> SimulationResult:
-        """Figure 15's LB+CacheExt: Linebacker over the idealized cache."""
-        from repro.baselines.cache_ext import config_with_cache_ext
-
-        key = ("lb_cache_ext", app)
-
-        def run() -> SimulationResult:
-            cfg = config_with_cache_ext(self.config, self.kernel(app))
-            return run_kernel(
-                cfg,
-                self.kernel(app),
-                extension_factory=linebacker_factory(cfg.linebacker),
-            )
-
-        return self._memo(key, run)
+        self._deprecated("lb_cache_ext", "ctx.run(app, 'lb_cache_ext')")
+        return self.run(app, "lb_cache_ext")
 
 
 def geomean(values) -> float:

@@ -3,13 +3,21 @@
 Each ``run_figN`` function returns a plain data structure (rows the
 paper's chart plots) and is wrapped by a benchmark target in
 ``benchmarks/``. Everything is driven through a shared
-:class:`~repro.analysis.context.ExperimentContext` so common runs
-(baseline, Best-SWL, Linebacker) are simulated once per process.
+:class:`~repro.analysis.context.ExperimentContext`, whose registry API
+(``ctx.run(app, arch)``) memoizes through the experiment runner — so
+common runs (baseline, Best-SWL, Linebacker) are simulated once per
+process and recalled from the persistent cache across processes.
+
+Every figure opens with a ``ctx.run_many``/``ctx.prefetch`` wave
+naming all (app, architecture) pairs it needs: with ``workers > 1``
+the wave fans out over the process pool; the per-app loops below it
+then resolve instantly from the memo.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
+
 from repro.analysis.context import ExperimentContext, geomean
 from repro.config import KB
 from repro.gpu.gpu import (
@@ -23,9 +31,10 @@ from repro.power.energy import estimate_energy
 # ---------------------------------------------------------------------------
 def run_fig1(ctx: ExperimentContext) -> dict[str, dict[str, float]]:
     """Per app: cold-miss ratio and capacity/conflict (2C) miss ratio."""
+    ctx.prefetch(["baseline"])
     out: dict[str, dict[str, float]] = {}
     for app in ctx.apps:
-        result = ctx.baseline(app)
+        result = ctx.run(app, "baseline")
         out[app] = {
             "cold": result.cold_miss_ratio,
             "capacity_conflict": result.capacity_conflict_miss_ratio,
@@ -38,9 +47,10 @@ def run_fig1(ctx: ExperimentContext) -> dict[str, dict[str, float]]:
 # Figure 2: reused working set of top-4 non-streaming loads (KB per window)
 # ---------------------------------------------------------------------------
 def run_fig2(ctx: ExperimentContext) -> dict[str, float]:
+    ctx.run_many([(app, "baseline", {"track_loads": True}) for app in ctx.apps])
     out: dict[str, float] = {}
     for app in ctx.apps:
-        result = ctx.baseline(app, track_loads=True)
+        result = ctx.run(app, "baseline", track_loads=True)
         per_sm = [
             sm.load_tracker.top_loads_reused_working_set(4)
             for sm in result.sms
@@ -54,9 +64,10 @@ def run_fig2(ctx: ExperimentContext) -> dict[str, float]:
 # Figure 3: streaming data size per window (KB)
 # ---------------------------------------------------------------------------
 def run_fig3(ctx: ExperimentContext) -> dict[str, float]:
+    ctx.run_many([(app, "baseline", {"track_loads": True}) for app in ctx.apps])
     out: dict[str, float] = {}
     for app in ctx.apps:
-        result = ctx.baseline(app, track_loads=True)
+        result = ctx.run(app, "baseline", track_loads=True)
         per_sm = [
             sm.load_tracker.mean_streaming_bytes()
             for sm in result.sms
@@ -70,11 +81,12 @@ def run_fig3(ctx: ExperimentContext) -> dict[str, float]:
 # Figure 4: statically and dynamically unused register file (KB)
 # ---------------------------------------------------------------------------
 def run_fig4(ctx: ExperimentContext) -> dict[str, dict[str, float]]:
+    ctx.prefetch(["best_swl"])
     out: dict[str, dict[str, float]] = {}
     for app in ctx.apps:
         kernel = ctx.kernel(app)
         sur = statically_unused_register_bytes(ctx.config.gpu, kernel)
-        best = ctx.best_swl(app)
+        best = ctx.run(app, "best_swl")
         dur = dynamically_unused_register_bytes(
             ctx.config.gpu, kernel, active_ctas=best.best_limit
         )
@@ -86,13 +98,30 @@ def run_fig4(ctx: ExperimentContext) -> dict[str, dict[str, float]]:
 # Figure 5: CacheExt / Best-SWL / Best-SWL+CacheExt (normalized to baseline)
 # ---------------------------------------------------------------------------
 def run_fig5(ctx: ExperimentContext) -> dict[str, dict[str, float]]:
+    ctx.prefetch(["baseline", "best_swl", "cache_ext"])
+    # The (SUR+DUR)-enlarged L1 needs each app's oracle limit, so this
+    # second wave depends on the Best-SWL results above.
+    ctx.run_many(
+        [
+            (
+                app,
+                "best_swl_cache_ext",
+                {"cta_limit": ctx.run(app, "best_swl").best_limit},
+            )
+            for app in ctx.apps
+        ]
+    )
     out: dict[str, dict[str, float]] = {}
     for app in ctx.apps:
-        base = ctx.baseline(app).ipc
+        base = ctx.run(app, "baseline").ipc
+        limit = ctx.run(app, "best_swl").best_limit
         out[app] = {
-            "best_swl": ctx.best_swl(app).ipc / base,
-            "cache_ext": ctx.cache_ext(app).ipc / base,
-            "best_swl_cache_ext": ctx.best_swl_cache_ext(app).ipc / base,
+            "best_swl": ctx.run(app, "best_swl").ipc / base,
+            "cache_ext": ctx.run(app, "cache_ext").ipc / base,
+            "best_swl_cache_ext": ctx.run(
+                app, "best_swl_cache_ext", cta_limit=limit
+            ).ipc
+            / base,
         }
     out["GM"] = {
         key: geomean(out[a][key] for a in ctx.apps)
@@ -105,9 +134,10 @@ def run_fig5(ctx: ExperimentContext) -> dict[str, dict[str, float]]:
 # Figure 9: Linebacker's victim space and monitoring periods
 # ---------------------------------------------------------------------------
 def run_fig9(ctx: ExperimentContext) -> dict[str, dict[str, float]]:
+    ctx.prefetch(["linebacker"])
     out: dict[str, dict[str, float]] = {}
     for app in ctx.apps:
-        result = ctx.linebacker(app)
+        result = ctx.run(app, "linebacker")
         kernel = ctx.kernel(app)
         sur = statically_unused_register_bytes(ctx.config.gpu, kernel)
         dyn = geomean(
@@ -126,14 +156,22 @@ def run_fig9(ctx: ExperimentContext) -> dict[str, dict[str, float]]:
 # Figure 10: VTT partition set-associativity sweep
 # ---------------------------------------------------------------------------
 def run_fig10(ctx: ExperimentContext, ways_sweep=(1, 4, 16)) -> dict[int, dict[str, float]]:
+    lb_variants = {ways: ctx.config.linebacker.with_ways(ways) for ways in ways_sweep}
+    ctx.run_many(
+        [(app, "best_swl") for app in ctx.apps]
+        + [
+            (app, "linebacker", {"lb_config": lb})
+            for app in ctx.apps
+            for lb in lb_variants.values()
+        ]
+    )
     out: dict[int, dict[str, float]] = {}
-    for ways in ways_sweep:
-        lb = ctx.config.linebacker.with_ways(ways)
+    for ways, lb in lb_variants.items():
         speeds = []
         utils = []
         for app in ctx.apps:
-            swl = ctx.best_swl(app).ipc
-            result = ctx.linebacker(app, lb)
+            swl = ctx.run(app, "best_swl").ipc
+            result = ctx.run(app, "linebacker", lb_config=lb)
             speeds.append(result.ipc / swl)
             utils.append(
                 geomean(
@@ -152,13 +190,18 @@ def run_fig10(ctx: ExperimentContext, ways_sweep=(1, 4, 16)) -> dict[int, dict[s
 # Figure 11: Linebacker technique breakdown (normalized to Best-SWL)
 # ---------------------------------------------------------------------------
 def run_fig11(ctx: ExperimentContext) -> dict[str, dict[str, float]]:
+    ctx.prefetch(
+        ["best_swl", "victim_caching", "selective_victim_caching", "linebacker"]
+    )
     out: dict[str, dict[str, float]] = {}
     for app in ctx.apps:
-        swl = ctx.best_swl(app).ipc
+        swl = ctx.run(app, "best_swl").ipc
         out[app] = {
-            "victim_caching": ctx.victim_caching(app).ipc / swl,
-            "selective_victim_caching": ctx.selective_victim_caching(app).ipc / swl,
-            "throttling_selective_victim_caching": ctx.linebacker(app).ipc / swl,
+            "victim_caching": ctx.run(app, "victim_caching").ipc / swl,
+            "selective_victim_caching": ctx.run(app, "selective_victim_caching").ipc
+            / swl,
+            "throttling_selective_victim_caching": ctx.run(app, "linebacker").ipc
+            / swl,
         }
     keys = (
         "victim_caching",
@@ -173,14 +216,15 @@ def run_fig11(ctx: ExperimentContext) -> dict[str, dict[str, float]]:
 # Figure 12: performance versus previous approaches (normalized to Best-SWL)
 # ---------------------------------------------------------------------------
 def run_fig12(ctx: ExperimentContext) -> dict[str, dict[str, float]]:
+    ctx.prefetch(["baseline", "best_swl", "pcal", "cerf", "linebacker"])
     out: dict[str, dict[str, float]] = {}
     for app in ctx.apps:
-        swl = ctx.best_swl(app).ipc
+        swl = ctx.run(app, "best_swl").ipc
         out[app] = {
-            "baseline": ctx.baseline(app).ipc / swl,
-            "pcal": ctx.pcal(app).ipc / swl,
-            "cerf": ctx.cerf(app).ipc / swl,
-            "linebacker": ctx.linebacker(app).ipc / swl,
+            "baseline": ctx.run(app, "baseline").ipc / swl,
+            "pcal": ctx.run(app, "pcal").ipc / swl,
+            "cerf": ctx.run(app, "cerf").ipc / swl,
+            "linebacker": ctx.run(app, "linebacker").ipc / swl,
         }
     keys = ("baseline", "pcal", "cerf", "linebacker")
     out["GM"] = {k: geomean(out[a][k] for a in ctx.apps) for k in keys}
@@ -191,14 +235,15 @@ def run_fig12(ctx: ExperimentContext) -> dict[str, dict[str, float]]:
 # Figure 13: request breakdown (hit / miss / bypass / reg hit)
 # ---------------------------------------------------------------------------
 def run_fig13(ctx: ExperimentContext) -> dict[str, dict[str, dict[str, float]]]:
+    ctx.prefetch(["baseline", "best_swl", "pcal", "cerf", "linebacker"])
     out: dict[str, dict[str, dict[str, float]]] = {}
     for app in ctx.apps:
         out[app] = {
-            "B": ctx.baseline(app).request_breakdown,
-            "S": ctx.best_swl(app).best_result.request_breakdown,
-            "P": ctx.pcal(app).request_breakdown,
-            "C": ctx.cerf(app).request_breakdown,
-            "L": ctx.linebacker(app).request_breakdown,
+            "B": ctx.run(app, "baseline").request_breakdown,
+            "S": ctx.run(app, "best_swl").best_result.request_breakdown,
+            "P": ctx.run(app, "pcal").request_breakdown,
+            "C": ctx.run(app, "cerf").request_breakdown,
+            "L": ctx.run(app, "linebacker").request_breakdown,
         }
     return out
 
@@ -209,21 +254,33 @@ def run_fig13(ctx: ExperimentContext) -> dict[str, dict[str, dict[str, float]]]:
 def run_fig14(
     ctx: ExperimentContext, sizes_kb=(16, 48, 64, 96, 128)
 ) -> dict[int, dict[str, float]]:
-    out: dict[int, dict[str, float]] = {}
-    for size_kb in sizes_kb:
-        sub = ExperimentContext(
+    subs = {
+        size_kb: ExperimentContext(
             config=replace(
                 ctx.config, gpu=ctx.config.gpu.with_l1_size(size_kb * KB)
             ),
             scale=ctx.scale,
             apps=ctx.apps,
+            runner=ctx.runner,  # share the memo/cache/pool across the sweep
         )
+        for size_kb in sizes_kb
+    }
+    ctx.runner.run_many(
+        [
+            sub.spec(app, arch)
+            for sub in subs.values()
+            for app in ctx.apps
+            for arch in ("baseline", "linebacker", "cerf")
+        ]
+    )
+    out: dict[int, dict[str, float]] = {}
+    for size_kb, sub in subs.items():
         lb_speed = []
         cerf_speed = []
         for app in ctx.apps:
-            base = sub.baseline(app).ipc
-            lb_speed.append(sub.linebacker(app).ipc / base)
-            cerf_speed.append(sub.cerf(app).ipc / base)
+            base = sub.run(app, "baseline").ipc
+            lb_speed.append(sub.run(app, "linebacker").ipc / base)
+            cerf_speed.append(sub.run(app, "cerf").ipc / base)
         out[size_kb] = {
             "linebacker": geomean(lb_speed),
             "cerf": geomean(cerf_speed),
@@ -235,15 +292,25 @@ def run_fig14(
 # Figure 15: combinations of previous works (normalized to Best-SWL)
 # ---------------------------------------------------------------------------
 def run_fig15(ctx: ExperimentContext) -> dict[str, dict[str, float]]:
+    ctx.prefetch(
+        [
+            "best_swl",
+            "victim_caching",
+            "pcal_cerf",
+            "pcal_svc",
+            "linebacker",
+            "lb_cache_ext",
+        ]
+    )
     out: dict[str, dict[str, float]] = {}
     for app in ctx.apps:
-        swl = ctx.best_swl(app).ipc
+        swl = ctx.run(app, "best_swl").ipc
         out[app] = {
-            "baseline_svc": ctx.victim_caching(app).ipc / swl,
-            "pcal_cerf": ctx.pcal_cerf(app).ipc / swl,
-            "pcal_svc": ctx.pcal_svc(app).ipc / swl,
-            "linebacker": ctx.linebacker(app).ipc / swl,
-            "lb_cache_ext": ctx.lb_cache_ext(app).ipc / swl,
+            "baseline_svc": ctx.run(app, "victim_caching").ipc / swl,
+            "pcal_cerf": ctx.run(app, "pcal_cerf").ipc / swl,
+            "pcal_svc": ctx.run(app, "pcal_svc").ipc / swl,
+            "linebacker": ctx.run(app, "linebacker").ipc / swl,
+            "lb_cache_ext": ctx.run(app, "lb_cache_ext").ipc / swl,
         }
     keys = ("baseline_svc", "pcal_cerf", "pcal_svc", "linebacker", "lb_cache_ext")
     out["GM"] = {k: geomean(out[a][k] for a in ctx.apps) for k in keys}
@@ -254,12 +321,13 @@ def run_fig15(ctx: ExperimentContext) -> dict[str, dict[str, float]]:
 # Figure 16: register file bank conflicts (normalized to baseline)
 # ---------------------------------------------------------------------------
 def run_fig16(ctx: ExperimentContext) -> dict[str, dict[str, float]]:
+    ctx.prefetch(["baseline", "cerf", "linebacker"])
     out: dict[str, dict[str, float]] = {}
     for app in ctx.apps:
-        base = max(1, ctx.baseline(app).bank_conflicts)
+        base = max(1, ctx.run(app, "baseline").bank_conflicts)
         out[app] = {
-            "cerf": ctx.cerf(app).bank_conflicts / base,
-            "linebacker": ctx.linebacker(app).bank_conflicts / base,
+            "cerf": ctx.run(app, "cerf").bank_conflicts / base,
+            "linebacker": ctx.run(app, "linebacker").bank_conflicts / base,
         }
     out["GM"] = {
         k: geomean(out[a][k] for a in ctx.apps if out[a][k] > 0)
@@ -272,12 +340,13 @@ def run_fig16(ctx: ExperimentContext) -> dict[str, dict[str, float]]:
 # Figure 17: off-chip memory traffic (normalized to baseline)
 # ---------------------------------------------------------------------------
 def run_fig17(ctx: ExperimentContext) -> dict[str, dict[str, float]]:
+    ctx.prefetch(["baseline", "cerf", "linebacker"])
     out: dict[str, dict[str, float]] = {}
     for app in ctx.apps:
-        base = max(1, ctx.baseline(app).traffic.total_lines)
-        lb = ctx.linebacker(app)
+        base = max(1, ctx.run(app, "baseline").traffic.total_lines)
+        lb = ctx.run(app, "linebacker")
         out[app] = {
-            "cerf": ctx.cerf(app).traffic.total_lines / base,
+            "cerf": ctx.run(app, "cerf").traffic.total_lines / base,
             "linebacker": lb.traffic.total_lines / base,
             "lb_register_overhead": lb.traffic.register_overhead_lines / base,
         }
@@ -292,12 +361,13 @@ def run_fig17(ctx: ExperimentContext) -> dict[str, dict[str, float]]:
 # Figure 18: energy consumption (normalized to baseline)
 # ---------------------------------------------------------------------------
 def run_fig18(ctx: ExperimentContext) -> dict[str, dict[str, float]]:
+    ctx.prefetch(["baseline", "cerf", "linebacker"])
     out: dict[str, dict[str, float]] = {}
     for app in ctx.apps:
-        base = estimate_energy(ctx.baseline(app)).total
+        base = estimate_energy(ctx.run(app, "baseline")).total
         out[app] = {
-            "cerf": estimate_energy(ctx.cerf(app)).total / base,
-            "linebacker": estimate_energy(ctx.linebacker(app)).total / base,
+            "cerf": estimate_energy(ctx.run(app, "cerf")).total / base,
+            "linebacker": estimate_energy(ctx.run(app, "linebacker")).total / base,
         }
     out["GM"] = {
         k: geomean(out[a][k] for a in ctx.apps) for k in ("cerf", "linebacker")

@@ -25,7 +25,7 @@ CERF does no CTA throttling and no register backup.
 
 from __future__ import annotations
 
-from dataclasses import replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.config import LinebackerConfig, SimulationConfig
@@ -114,11 +114,36 @@ class CERFExtension(LinebackerExtension):
         self.stats.victim_inserts += 1
 
 
-def cerf_factory(config: Optional[LinebackerConfig] = None):
-    def build() -> CERFExtension:
-        return CERFExtension(config)
+@dataclass(frozen=True)
+class CERFFactory:
+    """Picklable ExtensionFactory (constructible from a JobSpec)."""
 
-    return build
+    config: Optional[LinebackerConfig] = None
+
+    def __call__(self) -> CERFExtension:
+        return CERFExtension(self.config)
+
+
+@dataclass(frozen=True)
+class PCALCERFFactory:
+    """Figure 15's PCAL+CERF: PCAL's bypass throttler grafted onto a
+    CERF register-file cache. A module-level factory (not a closure)
+    so the combination is picklable for the parallel runner."""
+
+    config: Optional[LinebackerConfig] = None
+
+    def __call__(self) -> CERFExtension:
+        from repro.core.linebacker import BypassThrottler
+
+        base = self.config or LinebackerConfig()
+        ext = CERFExtension(base)
+        ext.enable_bypass = True
+        ext.bypass = BypassThrottler(base.ipc_upper_bound, base.ipc_lower_bound)
+        return ext
+
+
+def cerf_factory(config: Optional[LinebackerConfig] = None) -> CERFFactory:
+    return CERFFactory(config)
 
 
 def run_cerf(config: SimulationConfig, kernel: KernelTrace) -> SimulationResult:

@@ -15,7 +15,7 @@ evaluates in Figure 12.
 
 from __future__ import annotations
 
-from dataclasses import replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.config import LinebackerConfig, SimulationConfig
@@ -39,11 +39,18 @@ class PCALExtension(LinebackerExtension):
         super().__init__(config=pcal_config, enable_bypass_throttling=True)
 
 
-def pcal_factory(config: Optional[LinebackerConfig] = None):
-    def build() -> PCALExtension:
-        return PCALExtension(config)
+@dataclass(frozen=True)
+class PCALFactory:
+    """Picklable ExtensionFactory (constructible from a JobSpec)."""
 
-    return build
+    config: Optional[LinebackerConfig] = None
+
+    def __call__(self) -> PCALExtension:
+        return PCALExtension(self.config)
+
+
+def pcal_factory(config: Optional[LinebackerConfig] = None) -> PCALFactory:
+    return PCALFactory(config)
 
 
 def run_pcal(config: SimulationConfig, kernel: KernelTrace) -> SimulationResult:

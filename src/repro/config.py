@@ -20,6 +20,9 @@ size, and victim-space to L1 size.
 
 from __future__ import annotations
 
+import dataclasses
+import enum
+import hashlib
 from dataclasses import dataclass, field, replace
 
 #: Bytes in one cache line and in one warp register (32 threads x 4 B).
@@ -167,6 +170,72 @@ class SimulationConfig:
     linebacker: LinebackerConfig = field(default_factory=LinebackerConfig)
     max_cycles: int = 2_000_000
     seed: int = 2019
+
+
+def canonical_tokens(obj) -> str:
+    """Deterministic, content-based encoding of configuration values.
+
+    Unlike ``hash()`` or ``id()``, the encoding depends only on *values*
+    (dataclass fields, dict items sorted by key, float ``repr``), never
+    on object identity or interpreter state, so it is stable across
+    processes and interpreter restarts. This is the foundation of the
+    experiment runner's persistent cache keys: two configs that compare
+    equal always encode identically, and any field change — however
+    deep — changes the encoding.
+
+    Supported values: frozen/plain dataclasses, mappings, sequences,
+    sets, enums, primitives, and ``None``. Anything else raises
+    ``TypeError`` so unhashable state can never silently alias.
+    """
+    if obj is None:
+        return "none"
+    if isinstance(obj, bool):
+        return f"b:{obj}"
+    if isinstance(obj, int):
+        return f"i:{obj}"
+    if isinstance(obj, float):
+        return f"f:{obj!r}"
+    if isinstance(obj, str):
+        return f"s:{len(obj)}:{obj}"
+    if isinstance(obj, bytes):
+        return f"y:{obj.hex()}"
+    if isinstance(obj, enum.Enum):
+        return f"e:{type(obj).__name__}.{obj.name}"
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = ",".join(
+            f"{f.name}={canonical_tokens(getattr(obj, f.name))}"
+            for f in dataclasses.fields(obj)
+        )
+        return f"dc:{type(obj).__name__}({fields})"
+    if isinstance(obj, dict):
+        items = ",".join(
+            f"{canonical_tokens(k)}:{canonical_tokens(v)}"
+            for k, v in sorted(obj.items(), key=lambda kv: canonical_tokens(kv[0]))
+        )
+        return f"d{{{items}}}"
+    if isinstance(obj, (list, tuple)):
+        items = ",".join(canonical_tokens(v) for v in obj)
+        return f"l[{items}]"
+    if isinstance(obj, (set, frozenset)):
+        items = ",".join(sorted(canonical_tokens(v) for v in obj))
+        return f"S{{{items}}}"
+    raise TypeError(
+        f"cannot canonically encode {type(obj).__name__!r} for content hashing"
+    )
+
+
+def stable_hash(*objs) -> str:
+    """SHA-256 content hash over :func:`canonical_tokens` encodings.
+
+    Stable across processes (unlike ``PYTHONHASHSEED``-dependent
+    ``hash()``) and across garbage collection (unlike ``id()``-based
+    keys, which can alias when an old config is collected and a new one
+    reuses its address)."""
+    digest = hashlib.sha256()
+    for obj in objs:
+        digest.update(canonical_tokens(obj).encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
 
 
 def paper_config() -> SimulationConfig:

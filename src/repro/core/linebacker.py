@@ -487,15 +487,30 @@ class LinebackerExtension(SMExtension):
             self._sample_space()
 
 
+@dataclass(frozen=True)
+class LinebackerFactory:
+    """Picklable ExtensionFactory for :func:`repro.gpu.gpu.run_kernel`.
+
+    A frozen dataclass (not a closure) so the parallel experiment
+    runner can reconstruct it from a :class:`~repro.runner.JobSpec` in
+    a worker process and hash it into stable cache keys.
+    """
+
+    config: Optional[LinebackerConfig] = None
+    enable_bypass_throttling: bool = False
+
+    def __call__(self) -> LinebackerExtension:
+        return LinebackerExtension(
+            config=self.config,
+            enable_bypass_throttling=self.enable_bypass_throttling,
+        )
+
+
 def linebacker_factory(
     config: Optional[LinebackerConfig] = None,
     enable_bypass_throttling: bool = False,
-):
+) -> LinebackerFactory:
     """ExtensionFactory for :func:`repro.gpu.gpu.run_kernel`."""
-
-    def build() -> LinebackerExtension:
-        return LinebackerExtension(
-            config=config, enable_bypass_throttling=enable_bypass_throttling
-        )
-
-    return build
+    return LinebackerFactory(
+        config=config, enable_bypass_throttling=enable_bypass_throttling
+    )

@@ -1,0 +1,62 @@
+"""repro.runner — parallel experiment engine with a persistent cache.
+
+The runner expresses every simulation as a picklable, content-hashed
+:class:`JobSpec`, fans jobs out over a process pool (falling back to
+in-process execution), and memoizes portable results both in-process
+and on disk (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``). The
+string-keyed :data:`ARCHITECTURES` registry is the API every consumer
+(figure runners, CLI, benchmarks) uses to name a simulation.
+"""
+
+from repro.runner.cache import (
+    CACHE_SCHEMA_VERSION,
+    CacheInfo,
+    MISS,
+    ResultCache,
+    cache_salt,
+    code_salt,
+    default_cache_dir,
+)
+from repro.runner.engine import (
+    ExperimentRunner,
+    JobRecord,
+    RunnerStats,
+    default_workers,
+    execute_job,
+)
+from repro.runner.registry import ARCHITECTURES, ArchSpec, register, resolve
+from repro.runner.snapshot import (
+    ExtensionSnapshot,
+    L1Snapshot,
+    SMSnapshot,
+    portable,
+    portable_best_swl,
+    portable_result,
+)
+from repro.runner.spec import JobSpec
+
+__all__ = [
+    "ARCHITECTURES",
+    "ArchSpec",
+    "CACHE_SCHEMA_VERSION",
+    "CacheInfo",
+    "ExperimentRunner",
+    "ExtensionSnapshot",
+    "JobRecord",
+    "JobSpec",
+    "L1Snapshot",
+    "MISS",
+    "ResultCache",
+    "RunnerStats",
+    "SMSnapshot",
+    "cache_salt",
+    "code_salt",
+    "default_cache_dir",
+    "default_workers",
+    "execute_job",
+    "portable",
+    "portable_best_swl",
+    "portable_result",
+    "register",
+    "resolve",
+]

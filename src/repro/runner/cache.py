@@ -1,0 +1,178 @@
+"""Persistent on-disk result cache for the experiment runner.
+
+Layout: one pickle per job under ``$REPRO_CACHE_DIR`` (default
+``~/.cache/repro``), named ``<key>.pkl`` inside a two-character fan-out
+directory. The key is ``stable_hash(spec)`` salted with a cache schema
+version and the package version, so
+
+* re-running an identical figure is a pure cache read (near-instant),
+* any config/app/arch/scale change — however deep — misses, and
+* payload-format changes are invalidated by bumping
+  :data:`CACHE_SCHEMA_VERSION` (documented in DESIGN.md).
+
+Writes are atomic (temp file + ``os.replace``), so concurrent workers
+or interrupted runs can never leave a half-written entry behind.
+Unreadable or mismatched entries are treated as misses and deleted —
+the caller falls back to re-simulation, never crashes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+import repro
+from repro.config import stable_hash
+
+#: Bump when the cached payload format changes (snapshot classes,
+#: pickled structure, ...). Old entries then miss and are re-simulated.
+CACHE_SCHEMA_VERSION = 1
+
+#: Sentinel distinguishing "entry absent" from a cached ``None``.
+MISS = object()
+
+
+_code_salt: "str | None" = None
+
+
+def code_salt() -> str:
+    """Digest of the installed ``repro`` sources.
+
+    Simulator behaviour changes between commits without a version
+    bump; folding the actual source bytes into the cache key means any
+    code edit invalidates every prior entry instead of silently
+    serving results from an older simulator. Computed once per process
+    (~40 small files).
+    """
+    global _code_salt
+    if _code_salt is None:
+        digest = hashlib.sha256()
+        pkg_root = Path(repro.__file__).resolve().parent
+        for path in sorted(pkg_root.rglob("*.py")):
+            digest.update(str(path.relative_to(pkg_root)).encode())
+            try:
+                digest.update(path.read_bytes())
+            except OSError:
+                pass
+        _code_salt = digest.hexdigest()
+    return _code_salt
+
+
+def cache_salt() -> str:
+    """The invalidation salt folded into every cache key."""
+    extra = os.environ.get("REPRO_CACHE_SALT", "")
+    return (
+        f"repro-cache-v{CACHE_SCHEMA_VERSION}:{repro.__version__}:"
+        f"{code_salt()}:{extra}"
+    )
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path("~/.cache/repro").expanduser()
+
+
+@dataclass
+class CacheInfo:
+    root: Path
+    entries: int
+    total_bytes: int
+
+
+class ResultCache:
+    """Content-addressed pickle store for portable simulation results."""
+
+    def __init__(self, root: "Path | str | None" = None) -> None:
+        self.root = Path(root).expanduser() if root else default_cache_dir()
+        self._salt = cache_salt()
+
+    def key_for(self, spec) -> str:
+        return stable_hash(self._salt, spec)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    # -- lookup ----------------------------------------------------------
+    def get(self, key: str) -> Any:
+        """The cached payload for ``key``, or :data:`MISS`.
+
+        Any failure mode — missing file, truncated pickle, foreign
+        schema, classes that no longer unpickle — degrades to a miss;
+        corrupted entries are deleted so they are rewritten cleanly.
+        """
+        path = self.path_for(key)
+        try:
+            with path.open("rb") as fh:
+                entry = pickle.load(fh)
+        except FileNotFoundError:
+            return MISS
+        except Exception:
+            self._discard(path)
+            return MISS
+        if (
+            not isinstance(entry, dict)
+            or entry.get("schema") != CACHE_SCHEMA_VERSION
+            or entry.get("key") != key
+            or "payload" not in entry
+        ):
+            self._discard(path)
+            return MISS
+        return entry["payload"]
+
+    def put(self, key: str, payload: Any) -> None:
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"schema": CACHE_SCHEMA_VERSION, "key": key, "payload": payload}
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except Exception:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    # -- maintenance -----------------------------------------------------
+    def _entry_paths(self):
+        if not self.root.is_dir():
+            return
+        yield from self.root.glob("??/*.pkl")
+
+    def info(self) -> CacheInfo:
+        entries = 0
+        total = 0
+        for path in self._entry_paths():
+            entries += 1
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return CacheInfo(root=self.root, entries=entries, total_bytes=total)
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns how many were removed."""
+        removed = 0
+        for path in list(self._entry_paths()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

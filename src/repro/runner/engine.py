@@ -1,0 +1,218 @@
+"""The parallel experiment-execution engine.
+
+:class:`ExperimentRunner` turns content-hashed
+:class:`~repro.runner.spec.JobSpec`\\ s into portable results through
+three layers, cheapest first:
+
+1. an **in-process memo** (same object returned for the same spec —
+   the identity guarantee the old ``ExperimentContext._memo`` gave),
+2. the **persistent on-disk cache** (survives process restarts; a warm
+   figure rerun is almost pure unpickling), and
+3. **execution** — in-process when ``workers == 1``, fanned out over a
+   ``ProcessPoolExecutor`` otherwise, with graceful degradation to
+   in-process execution if the pool cannot be used (broken pool,
+   unpicklable spec, sandboxed environment without semaphores, ...).
+
+Every execution is timed and counted in :class:`RunnerStats` so the
+CLI and benchmarks can report per-job wall-clock and hit ratios.
+
+Simulations are deterministic given ``config.seed``, so serial,
+parallel and cached executions of the same spec produce identical
+statistics — the engine only changes *where and when* a job runs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.runner.cache import MISS, ResultCache
+from repro.runner.registry import resolve
+from repro.runner.snapshot import portable
+from repro.runner.spec import JobSpec
+from repro.workloads.suite import kernel_for
+
+
+def default_workers() -> int:
+    """Worker-count default: ``$REPRO_WORKERS`` or 1 (in-process)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_WORKERS", "1")))
+    except ValueError:
+        return 1
+
+
+def execute_job(spec: JobSpec) -> tuple[Any, float]:
+    """Run one job to completion; the process-pool entry point.
+
+    Rebuilds the kernel trace from (app, scale) and resolves the
+    architecture runner by name, so only the plain-data spec ever
+    crosses a process boundary. Returns ``(portable payload, seconds)``.
+    """
+    started = time.perf_counter()
+    arch = resolve(spec.arch)
+    kernel = kernel_for(spec.app, spec.scale)
+    value = arch.runner(spec.config, kernel, **spec.overrides)
+    return portable(value), time.perf_counter() - started
+
+
+@dataclass
+class JobRecord:
+    """Timing/provenance of one resolved job."""
+
+    label: str
+    key: str
+    seconds: float
+    source: str  # "run" | "cache" | "memo"
+
+
+@dataclass
+class RunnerStats:
+    """Observability counters for one runner's lifetime."""
+
+    simulated: int = 0
+    cache_hits: int = 0
+    memo_hits: int = 0
+    pool_fallbacks: int = 0
+    sim_seconds: float = 0.0
+    records: list[JobRecord] = field(default_factory=list)
+
+    def record(self, spec: JobSpec, seconds: float, source: str) -> None:
+        self.records.append(
+            JobRecord(label=spec.label, key=spec.key, seconds=seconds, source=source)
+        )
+        if source == "run":
+            self.simulated += 1
+            self.sim_seconds += seconds
+        elif source == "cache":
+            self.cache_hits += 1
+        else:
+            self.memo_hits += 1
+
+    def summary(self) -> str:
+        return (
+            f"{self.simulated} simulated ({self.sim_seconds:.1f}s), "
+            f"{self.cache_hits} cache hits, {self.memo_hits} memo hits"
+        )
+
+
+class ExperimentRunner:
+    """Fan-out + memoization front-end for experiment jobs.
+
+    Parameters
+    ----------
+    workers:
+        Process count for fan-out; ``None`` reads ``$REPRO_WORKERS``
+        (default 1 = run in-process, no pool).
+    cache:
+        A :class:`ResultCache`, or ``None`` for the default directory.
+    use_cache:
+        Disable the persistent layer entirely with ``False`` (the
+        in-process memo always stays on). ``None`` honours
+        ``$REPRO_NO_CACHE``.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        use_cache: Optional[bool] = None,
+    ) -> None:
+        self.workers = workers if workers is not None else default_workers()
+        if use_cache is None:
+            use_cache = not os.environ.get("REPRO_NO_CACHE")
+        self.cache = (cache or ResultCache()) if use_cache else None
+        self.stats = RunnerStats()
+        self._memo: dict[str, Any] = {}
+
+    # -- public API ------------------------------------------------------
+    def run(self, spec: JobSpec) -> Any:
+        return self.run_many([spec])[0]
+
+    def run_many(self, specs: Sequence[JobSpec]) -> list[Any]:
+        """Resolve every spec, exploiting memo, cache and parallelism.
+
+        Duplicate specs are coalesced; results come back in input
+        order. Repeated calls with a spec return the *same object*
+        (in-process memo), preserving the old context's identity
+        semantics.
+        """
+        specs = list(specs)
+        pending: dict[str, JobSpec] = {}
+        for spec in specs:
+            key = spec.key
+            if key in self._memo:
+                self.stats.record(spec, 0.0, "memo")
+            elif key not in pending and not self._load_cached(spec, key):
+                pending[key] = spec
+        if pending:
+            self._execute(pending)
+        return [self._memo[spec.key] for spec in specs]
+
+    # -- internals -------------------------------------------------------
+    def _load_cached(self, spec: JobSpec, key: str) -> bool:
+        if self.cache is None:
+            return False
+        payload = self.cache.get(self.cache.key_for(spec))
+        if payload is MISS:
+            return False
+        self._memo[key] = payload
+        self.stats.record(spec, 0.0, "cache")
+        return True
+
+    def _store(self, spec: JobSpec, key: str, payload: Any, seconds: float) -> None:
+        self._memo[key] = payload
+        self.stats.record(spec, seconds, "run")
+        if self.cache is not None:
+            try:
+                self.cache.put(self.cache.key_for(spec), payload)
+            except Exception as exc:  # cache write failure is never fatal
+                warnings.warn(f"result cache write failed: {exc}", RuntimeWarning)
+
+    def _execute(self, pending: dict[str, JobSpec]) -> None:
+        if self.workers > 1 and len(pending) > 1:
+            remaining = self._execute_pool(pending)
+        else:
+            remaining = pending
+        for key, spec in remaining.items():
+            payload, seconds = execute_job(spec)
+            self._store(spec, key, payload, seconds)
+
+    def _execute_pool(self, pending: dict[str, JobSpec]) -> dict[str, JobSpec]:
+        """Fan pending jobs out over a process pool.
+
+        Returns the jobs that still need in-process execution (all of
+        them when the pool cannot be created, the unfinished tail when
+        it breaks mid-flight). Job-level simulation errors propagate
+        unchanged — only *pool infrastructure* failures degrade.
+        """
+        import concurrent.futures as cf
+        import pickle
+
+        remaining = dict(pending)
+        try:
+            with cf.ProcessPoolExecutor(max_workers=self.workers) as pool:
+                futures = {
+                    pool.submit(execute_job, spec): (key, spec)
+                    for key, spec in pending.items()
+                }
+                for future in cf.as_completed(futures):
+                    key, spec = futures[future]
+                    payload, seconds = future.result()
+                    self._store(spec, key, payload, seconds)
+                    del remaining[key]
+        except cf.process.BrokenProcessPool:
+            self.stats.pool_fallbacks += 1
+            warnings.warn(
+                "process pool died; finishing jobs in-process", RuntimeWarning
+            )
+        except (OSError, ValueError, ImportError, pickle.PicklingError) as exc:
+            # No /dev/shm, sandboxed semaphores, fork unavailable, ...
+            self.stats.pool_fallbacks += 1
+            warnings.warn(
+                f"process pool unavailable ({exc}); running in-process",
+                RuntimeWarning,
+            )
+        return remaining

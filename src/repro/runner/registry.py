@@ -1,0 +1,159 @@
+"""String-keyed registry of every architecture the paper evaluates.
+
+This is the single source of truth for "what can be simulated":
+``ARCHITECTURES`` maps a name (``"baseline"``, ``"linebacker"``,
+``"pcal_svc"``, ...) to an :class:`ArchSpec` whose runner is a
+module-level function ``run(config, kernel, **params)``. Figure
+runners, the CLI and the parallel engine all go through this table —
+:meth:`ExperimentContext.run(app, arch) <repro.analysis.context.ExperimentContext.run>`
+instead of one hand-written method per architecture.
+
+Because runners are looked up *by name* inside worker processes, a
+:class:`~repro.runner.spec.JobSpec` stays a plain data record: no
+closures or bound methods ever cross the process boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Optional
+
+from repro.baselines.cache_ext import (
+    config_with_cache_ext,
+    run_cache_ext,
+    run_swl_cache_ext,
+)
+from repro.baselines.cerf import PCALCERFFactory, cerf_factory
+from repro.baselines.pcal import pcal_factory
+from repro.baselines.swl import best_swl
+from repro.config import LinebackerConfig, SimulationConfig
+from repro.core.linebacker import linebacker_factory
+from repro.gpu.gpu import run_kernel
+from repro.gpu.trace import KernelTrace
+
+
+@dataclass(frozen=True)
+class ArchSpec:
+    """One registered architecture.
+
+    ``returns`` distinguishes plain simulations (``"result"``, a
+    :class:`SimulationResult`) from the Best-SWL oracle sweep
+    (``"best_swl"``, a :class:`BestSWLResult`).
+    """
+
+    name: str
+    runner: Callable
+    description: str = ""
+    returns: str = "result"
+
+
+ARCHITECTURES: dict[str, ArchSpec] = {}
+
+
+def register(name: str, description: str = "", returns: str = "result"):
+    """Register a module-level run function as architecture ``name``."""
+
+    def wrap(fn: Callable) -> Callable:
+        ARCHITECTURES[name] = ArchSpec(
+            name=name, runner=fn, description=description, returns=returns
+        )
+        return fn
+
+    return wrap
+
+
+def resolve(name: str) -> ArchSpec:
+    try:
+        return ARCHITECTURES[name]
+    except KeyError:
+        known = ", ".join(sorted(ARCHITECTURES))
+        raise KeyError(f"unknown architecture {name!r}; known: {known}") from None
+
+
+# ---------------------------------------------------------------------------
+# Architecture runners. Signature: run(config, kernel, **params).
+# ---------------------------------------------------------------------------
+@register("baseline", "stock GPU, no memory-path policy")
+def _run_baseline(
+    config: SimulationConfig, kernel: KernelTrace, track_loads: bool = False
+):
+    return run_kernel(config, kernel, track_loads=track_loads)
+
+
+@register("best_swl", "oracle static CTA-limit sweep", returns="best_swl")
+def _run_best_swl(config: SimulationConfig, kernel: KernelTrace):
+    return best_swl(config, kernel)
+
+
+@register("linebacker", "full Linebacker (throttling + selective victim cache)")
+def _run_linebacker(
+    config: SimulationConfig,
+    kernel: KernelTrace,
+    lb_config: Optional[LinebackerConfig] = None,
+):
+    lb = lb_config or config.linebacker
+    return run_kernel(config, kernel, extension_factory=linebacker_factory(lb))
+
+
+@register("victim_caching", "Fig 11: keep every victim, no throttling")
+def _run_victim_caching(config: SimulationConfig, kernel: KernelTrace):
+    lb = replace(config.linebacker, enable_selective=False, enable_throttling=False)
+    return run_kernel(config, kernel, extension_factory=linebacker_factory(lb))
+
+
+@register("selective_victim_caching", "Fig 11: SUR space only, no throttling")
+def _run_selective_victim_caching(config: SimulationConfig, kernel: KernelTrace):
+    lb = replace(config.linebacker, enable_throttling=False)
+    return run_kernel(config, kernel, extension_factory=linebacker_factory(lb))
+
+
+@register("pcal", "PCAL bypass-token throttling (HPCA 2015)")
+def _run_pcal(config: SimulationConfig, kernel: KernelTrace):
+    return run_kernel(
+        config, kernel, extension_factory=pcal_factory(config.linebacker)
+    )
+
+
+@register("cerf", "CERF unified RF/L1 caching (MICRO 2016)")
+def _run_cerf(config: SimulationConfig, kernel: KernelTrace):
+    return run_kernel(
+        config, kernel, extension_factory=cerf_factory(config.linebacker)
+    )
+
+
+@register("pcal_svc", "Fig 15: PCAL bypass throttling + SUR victim cache")
+def _run_pcal_svc(config: SimulationConfig, kernel: KernelTrace):
+    lb = replace(config.linebacker, enable_throttling=False)
+    return run_kernel(
+        config,
+        kernel,
+        extension_factory=linebacker_factory(lb, enable_bypass_throttling=True),
+    )
+
+
+@register("pcal_cerf", "Fig 15: PCAL bypass throttling over a CERF cache")
+def _run_pcal_cerf(config: SimulationConfig, kernel: KernelTrace):
+    return run_kernel(
+        config, kernel, extension_factory=PCALCERFFactory(config.linebacker)
+    )
+
+
+@register("cache_ext", "Sec 2.4: idealized SUR-enlarged L1")
+def _run_cache_ext(config: SimulationConfig, kernel: KernelTrace):
+    return run_cache_ext(config, kernel)
+
+
+@register("best_swl_cache_ext", "Sec 2.4: oracle throttling + (SUR+DUR)-enlarged L1")
+def _run_best_swl_cache_ext(
+    config: SimulationConfig, kernel: KernelTrace, cta_limit: Optional[int] = None
+):
+    limit = cta_limit if cta_limit is not None else best_swl(config, kernel).best_limit
+    return run_swl_cache_ext(config, kernel, limit)
+
+
+@register("lb_cache_ext", "Fig 15: Linebacker over the idealized enlarged L1")
+def _run_lb_cache_ext(config: SimulationConfig, kernel: KernelTrace):
+    cfg = config_with_cache_ext(config, kernel)
+    return run_kernel(
+        cfg, kernel, extension_factory=linebacker_factory(cfg.linebacker)
+    )

@@ -1,0 +1,63 @@
+"""Content-hashed experiment job specifications.
+
+A :class:`JobSpec` is the unit of work of the parallel experiment
+engine: one (app, architecture, configuration, scale) simulation. It
+is a frozen dataclass of frozen dataclasses, so it is
+
+* **picklable** — it can be shipped to a ``ProcessPoolExecutor``
+  worker, which rebuilds the kernel trace and extension factory from
+  it (no closures cross the process boundary), and
+* **content-hashable** — :func:`repro.config.stable_hash` folds every
+  field into a key that is stable across processes and interpreter
+  restarts, which is what makes the persistent result cache sound.
+
+Overrides (e.g. ``track_loads=True`` or a ``LinebackerConfig`` ablation
+variant) are carried as a sorted tuple of ``(name, value)`` pairs so
+two specs built from the same keyword arguments always hash equal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.config import SimulationConfig, stable_hash
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One simulation to run: app x architecture x config x scale."""
+
+    app: str
+    arch: str
+    config: SimulationConfig
+    scale: float = 1.0
+    params: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def build(
+        cls,
+        app: str,
+        arch: str,
+        config: SimulationConfig,
+        scale: float = 1.0,
+        overrides: Mapping[str, Any] | None = None,
+    ) -> "JobSpec":
+        params = tuple(sorted((overrides or {}).items()))
+        return cls(app=app, arch=arch, config=config, scale=scale, params=params)
+
+    @property
+    def overrides(self) -> dict[str, Any]:
+        return dict(self.params)
+
+    @property
+    def key(self) -> str:
+        """Stable content hash identifying this job everywhere."""
+        return stable_hash(self)
+
+    @property
+    def label(self) -> str:
+        """Short human-readable name for progress reporting."""
+        extra = ",".join(k for k, _ in self.params)
+        suffix = f"[{extra}]" if extra else ""
+        return f"{self.arch}:{self.app}{suffix}"

@@ -1,0 +1,275 @@
+"""Tests for the parallel experiment engine (`repro.runner`):
+content hashing, the persistent result cache, process-pool execution,
+the architecture registry, and corrupted-cache recovery."""
+
+import pickle
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis import ExperimentContext
+from repro.config import canonical_tokens, scaled_config, stable_hash
+from repro.runner import (
+    ARCHITECTURES,
+    ExperimentRunner,
+    JobSpec,
+    MISS,
+    ResultCache,
+    execute_job,
+    resolve,
+)
+
+CFG = scaled_config(num_sms=1, window_cycles=600)
+
+
+def make_spec(app="S2", arch="baseline", config=CFG, scale=0.1, **overrides):
+    return JobSpec.build(
+        app=app, arch=arch, config=config, scale=scale, overrides=overrides
+    )
+
+
+def make_runner(tmp_path, **kwargs):
+    kwargs.setdefault("cache", ResultCache(tmp_path / "cache"))
+    return ExperimentRunner(**kwargs)
+
+
+class TestStableHash:
+    def test_equal_values_hash_equal(self):
+        a = make_spec()
+        b = make_spec(config=scaled_config(num_sms=1, window_cycles=600))
+        assert a.config is not b.config
+        assert a.key == b.key
+
+    def test_any_field_variation_changes_hash(self):
+        base = make_spec()
+        variants = [
+            make_spec(app="LI"),
+            make_spec(arch="linebacker"),
+            make_spec(scale=0.2),
+            make_spec(config=replace(CFG, seed=7)),
+            make_spec(config=replace(CFG, max_cycles=CFG.max_cycles + 1)),
+            make_spec(config=replace(CFG, gpu=CFG.gpu.with_l1_size(16 * 1024))),
+            make_spec(
+                config=replace(
+                    CFG, linebacker=replace(CFG.linebacker, vtt_ways=8)
+                )
+            ),
+            make_spec(track_loads=True),
+        ]
+        keys = {base.key} | {v.key for v in variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_hash_ignores_override_order(self):
+        a = JobSpec.build("S2", "x", CFG, overrides={"p": 1, "q": 2})
+        b = JobSpec.build("S2", "x", CFG, overrides={"q": 2, "p": 1})
+        assert a.key == b.key
+
+    def test_canonical_rejects_unencodable(self):
+        with pytest.raises(TypeError):
+            canonical_tokens(object())
+
+    def test_stable_hash_is_content_not_identity(self):
+        assert stable_hash(CFG) == stable_hash(replace(CFG))
+        assert stable_hash(CFG) != stable_hash(replace(CFG, seed=CFG.seed + 1))
+
+
+class TestRegistry:
+    def test_all_paper_architectures_registered(self):
+        assert set(ARCHITECTURES) >= {
+            "baseline",
+            "best_swl",
+            "linebacker",
+            "victim_caching",
+            "selective_victim_caching",
+            "pcal",
+            "cerf",
+            "pcal_svc",
+            "pcal_cerf",
+            "cache_ext",
+            "best_swl_cache_ext",
+            "lb_cache_ext",
+        }
+
+    def test_resolve_unknown_is_helpful(self):
+        with pytest.raises(KeyError, match="linebacker"):
+            resolve("not_an_arch")
+
+    def test_ctx_run_unknown_arch(self, tmp_path):
+        ctx = ExperimentContext(
+            config=CFG, scale=0.1, apps=("S2",), runner=make_runner(tmp_path)
+        )
+        with pytest.raises(KeyError):
+            ctx.run("S2", "not_an_arch")
+
+    def test_factories_are_picklable(self):
+        from repro.baselines.cerf import PCALCERFFactory, cerf_factory
+        from repro.baselines.pcal import pcal_factory
+        from repro.core.linebacker import linebacker_factory
+
+        for factory in (
+            linebacker_factory(CFG.linebacker, enable_bypass_throttling=True),
+            pcal_factory(CFG.linebacker),
+            cerf_factory(CFG.linebacker),
+            PCALCERFFactory(CFG.linebacker),
+        ):
+            clone = pickle.loads(pickle.dumps(factory))
+            assert type(clone()) is type(factory())
+
+
+class TestCacheRoundTrip:
+    def test_hit_after_process_restart(self, tmp_path):
+        spec = make_spec()
+        first = make_runner(tmp_path)
+        cold = first.run(spec)
+        assert first.stats.simulated == 1
+
+        # A fresh runner over the same directory models a new process:
+        # the in-memory memo is empty, only the disk cache persists.
+        warm_runner = make_runner(tmp_path)
+        warm = warm_runner.run(spec)
+        assert warm_runner.stats.simulated == 0
+        assert warm_runner.stats.cache_hits == 1
+        assert warm.ipc == cold.ipc
+        assert warm.instructions == cold.instructions
+        assert warm.request_breakdown == cold.request_breakdown
+
+    def test_memo_preserves_identity(self, tmp_path):
+        runner = make_runner(tmp_path)
+        spec = make_spec()
+        assert runner.run(spec) is runner.run(spec)
+
+    def test_corrupted_entry_recovers(self, tmp_path):
+        spec = make_spec()
+        runner = make_runner(tmp_path)
+        runner.run(spec)
+        cache = runner.cache
+        path = cache.path_for(cache.key_for(spec))
+        assert path.is_file()
+        path.write_bytes(b"this is not a pickle")
+
+        recovered = make_runner(tmp_path)
+        result = recovered.run(spec)
+        assert recovered.stats.simulated == 1  # fell back to re-simulation
+        assert result.instructions > 0
+        # The entry was rewritten and is healthy again.
+        assert make_runner(tmp_path).run(spec).ipc == result.ipc
+
+    def test_foreign_schema_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = cache.key_for(make_spec())
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(pickle.dumps({"schema": -1, "key": key, "payload": 3}))
+        assert cache.get(key) is MISS
+        assert not path.exists()  # discarded, not resurrected
+
+    def test_no_cache_runner_never_touches_disk(self):
+        runner = ExperimentRunner(use_cache=False)
+        assert runner.cache is None
+        runner.run(make_spec())
+        assert runner.stats.simulated == 1
+
+    def test_info_and_clear(self, tmp_path):
+        runner = make_runner(tmp_path)
+        runner.run(make_spec())
+        info = runner.cache.info()
+        assert info.entries == 1
+        assert info.total_bytes > 0
+        assert runner.cache.clear() == 1
+        assert runner.cache.info().entries == 0
+
+
+class TestParallelEquivalence:
+    SPECS = [
+        make_spec(app="S2", arch="baseline"),
+        make_spec(app="LI", arch="baseline"),
+        make_spec(app="S2", arch="linebacker"),
+    ]
+
+    def test_workers2_matches_serial(self):
+        serial = ExperimentRunner(workers=1, use_cache=False)
+        parallel = ExperimentRunner(workers=2, use_cache=False)
+        serial_results = serial.run_many(self.SPECS)
+        parallel_results = parallel.run_many(self.SPECS)
+        for s, p in zip(serial_results, parallel_results):
+            assert s.ipc == p.ipc
+            assert s.instructions == p.instructions
+            assert s.cycles == p.cycles
+            assert s.request_breakdown == p.request_breakdown
+
+    def test_cached_matches_fresh(self, tmp_path):
+        spec = make_spec(app="LI")
+        fresh = ExperimentRunner(use_cache=False).run(spec)
+        make_runner(tmp_path).run(spec)
+        cached = make_runner(tmp_path).run(spec)
+        assert cached.ipc == fresh.ipc
+        assert cached.instructions == fresh.instructions
+
+    def test_duplicate_specs_coalesce(self, tmp_path):
+        runner = make_runner(tmp_path)
+        spec = make_spec()
+        a, b = runner.run_many([spec, spec])
+        assert a is b
+        assert runner.stats.simulated == 1
+
+
+class TestContextDelegation:
+    def test_best_swl_keyed_by_content_not_identity(self, tmp_path):
+        """Regression: the old memo keyed Best-SWL on ``id(config)``,
+        which aliases across equal-valued configs. Two contexts built
+        from *distinct but equal* configs must share one sweep."""
+        runner = make_runner(tmp_path)
+        ctx_a = ExperimentContext(
+            config=scaled_config(num_sms=1, window_cycles=600),
+            scale=0.1,
+            apps=("S2",),
+            runner=runner,
+        )
+        ctx_b = ExperimentContext(
+            config=scaled_config(num_sms=1, window_cycles=600),
+            scale=0.1,
+            apps=("S2",),
+            runner=runner,
+        )
+        assert ctx_a.config is not ctx_b.config
+        first = ctx_a.run("S2", "best_swl")
+        second = ctx_b.run("S2", "best_swl")
+        assert first is second  # one sweep, memo-shared by content hash
+
+    def test_wrapper_and_registry_share_results(self, tmp_path):
+        ctx = ExperimentContext(
+            config=CFG, scale=0.1, apps=("S2",), runner=make_runner(tmp_path)
+        )
+        via_registry = ctx.run("S2", "baseline")
+        with pytest.deprecated_call():
+            via_wrapper = ctx.baseline("S2")
+        assert via_wrapper is via_registry
+
+    def test_portable_results_support_analysis_surface(self, tmp_path):
+        ctx = ExperimentContext(
+            config=CFG, scale=0.1, apps=("S2",), runner=make_runner(tmp_path)
+        )
+        result = ctx.run("S2", "linebacker")
+        assert result.sms[0].done
+        assert result.sms[0].l1.num_sets >= 1
+        for ext in result.extensions:
+            assert ext.stats is not None
+            assert ext.load_monitor.windows_elapsed >= 0
+            assert ext.vtt is not None
+        tracked = ctx.run("S2", "baseline", track_loads=True)
+        assert tracked.sms[0].load_tracker is not None
+        assert tracked.sms[0].load_tracker.mean_streaming_bytes() >= 0.0
+
+
+class TestExecuteJob:
+    def test_execute_job_is_self_contained(self):
+        spec = make_spec(scale=0.05)
+        payload, seconds = execute_job(spec)
+        assert payload.instructions > 0
+        assert seconds > 0.0
+
+    def test_spec_is_picklable(self):
+        spec = make_spec(lb_config=CFG.linebacker)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.key == spec.key
