@@ -47,7 +47,10 @@ def main() -> None:
 
     baseline = run_kernel(config, kernel)
     result = run_kernel(
-        config, kernel, extension_factory=linebacker_factory(config.linebacker)
+        config,
+        kernel,
+        extension_factory=linebacker_factory(config.linebacker),
+        keep_objects=True,
     )
     ext = result.extensions[0]
 

@@ -32,7 +32,10 @@ def main() -> None:
     print(f"off-chip traffic  {baseline.traffic.total_bytes / 1024:.0f} KB")
 
     linebacker = run_kernel(
-        config, kernel, extension_factory=linebacker_factory(config.linebacker)
+        config,
+        kernel,
+        extension_factory=linebacker_factory(config.linebacker),
+        keep_objects=True,
     )
     ext = linebacker.extensions[0]
     print("\n-- Linebacker --")

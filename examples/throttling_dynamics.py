@@ -55,7 +55,9 @@ def main() -> None:
     TracingLinebacker.log.clear()
     config = scaled_config()
     kernel = kernel_for(app, scale=0.5)
-    result = run_kernel(config, kernel, extension_factory=TracingLinebacker)
+    result = run_kernel(
+        config, kernel, extension_factory=TracingLinebacker, keep_objects=True
+    )
 
     print(f"{app}: per-window dynamics on SM0 "
           f"(window = {config.linebacker.window_cycles} cycles)\n")

@@ -5,6 +5,8 @@ Usage:
     python -m repro run fig12 --apps S2,KM,LI --scale 0.3 --workers 4
     python -m repro run fig14 --sms 2 --no-cache
     python -m repro overhead
+    python -m repro bench --reps 3 --output BENCH_sim.json
+    python -m repro bench --check-against BENCH_sim.json
     python -m repro cache info
     python -m repro cache clear
 
@@ -104,6 +106,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("overhead", help="Section 4.2 storage overhead inventory")
 
+    bench_p = sub.add_parser(
+        "bench", help="simulator throughput benchmark (cold runs, no cache)"
+    )
+    bench_p.add_argument("--apps", default="", help="comma-separated app subset")
+    bench_p.add_argument("--scale", type=float, default=0.25, help="workload scale")
+    bench_p.add_argument("--sms", type=int, default=2, help="number of SMs")
+    bench_p.add_argument(
+        "--reps", type=int, default=3, help="repetitions per app (min is kept)"
+    )
+    bench_p.add_argument(
+        "--output", default=None, help="write the JSON report to this path"
+    )
+    bench_p.add_argument(
+        "--check-against",
+        default=None,
+        help="baseline BENCH_sim.json; exit 1 on a throughput regression",
+    )
+    bench_p.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="fractional regression allowed against the baseline (default 0.30)",
+    )
+
     cache_p = sub.add_parser("cache", help="inspect or clear the result cache")
     cache_p.add_argument("action", choices=("info", "clear"))
     cache_p.add_argument(
@@ -136,6 +162,62 @@ def _cmd_overhead() -> int:
         "buffer": overhead.buffer,
         "total (KB)": overhead.total_kb,
     }, precision=1))
+    return 0
+
+
+def _cmd_bench(args, parser: argparse.ArgumentParser) -> int:
+    from repro.bench import SimThroughput, compare_reports, load_report, write_report
+
+    apps = tuple(a for a in args.apps.split(",") if a) or ALL_APPS
+    unknown = set(apps) - set(ALL_APPS)
+    if unknown:
+        parser.error(f"unknown apps: {sorted(unknown)}")
+    if args.reps < 1:
+        parser.error("--reps must be at least 1")
+    harness = SimThroughput(
+        apps=apps, scale=args.scale, num_sms=args.sms, reps=args.reps
+    )
+    print(
+        f"benchmarking {len(apps)} apps at scale {args.scale}, {args.sms} SMs, "
+        f"{args.reps} rep(s) per app (cold runs, result cache bypassed)...",
+        file=sys.stderr,
+    )
+
+    def progress(app, result):
+        print(
+            f"  {app:4s} {result.instructions:>8d} instr "
+            f"{result.cpu_seconds:7.3f}s cpu  "
+            f"{result.instructions_per_second:>10,.0f} instr/s  "
+            f"{result.cycles_per_second:>10,.0f} cyc/s",
+            file=sys.stderr,
+        )
+
+    report = harness.run(progress=progress)
+    print(
+        f"\ngeomean: {report.geomean_instructions_per_second:,.0f} instr/s, "
+        f"{report.geomean_cycles_per_second:,.0f} cyc/s "
+        f"over {len(report.apps)} apps "
+        f"({report.total_cpu_seconds:.1f}s cpu total)"
+    )
+    if args.output:
+        write_report(report, args.output)
+        print(f"report written to {args.output}", file=sys.stderr)
+    if args.check_against:
+        problems = compare_reports(
+            report, load_report(args.check_against), tolerance=args.tolerance
+        )
+        if problems:
+            print(
+                f"\nTHROUGHPUT REGRESSION vs {args.check_against}:", file=sys.stderr
+            )
+            for p in problems:
+                print(f"  {p}", file=sys.stderr)
+            return 1
+        print(
+            f"no regression vs {args.check_against} "
+            f"(tolerance {args.tolerance:.0%})",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -193,7 +275,7 @@ def _cmd_run(args, parser: argparse.ArgumentParser) -> int:
 def main(argv: list[str] | None = None) -> int:
     argv = list(argv) if argv is not None else sys.argv[1:]
     # Historical alias: `python -m repro fig12 ...` == `run fig12 ...`.
-    if argv and argv[0] not in ("run", "list", "overhead", "cache") and not (
+    if argv and argv[0] not in ("run", "list", "overhead", "bench", "cache") and not (
         argv[0].startswith("-")
     ):
         argv = ["run", *argv]
@@ -204,6 +286,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_list(args)
     if args.command == "overhead":
         return _cmd_overhead()
+    if args.command == "bench":
+        return _cmd_bench(args, parser)
     if args.command == "cache":
         return _cmd_cache(args)
     return _cmd_run(args, parser)

@@ -136,6 +136,13 @@ def ccws_factory(config: Optional[LinebackerConfig] = None):
     return build
 
 
-def run_ccws(config: SimulationConfig, kernel: KernelTrace) -> SimulationResult:
+def run_ccws(
+    config: SimulationConfig, kernel: KernelTrace, keep_objects: bool = False
+) -> SimulationResult:
     """Run a kernel under CCWS warp throttling."""
-    return run_kernel(config, kernel, extension_factory=ccws_factory(config.linebacker))
+    return run_kernel(
+        config,
+        kernel,
+        extension_factory=ccws_factory(config.linebacker),
+        keep_objects=keep_objects,
+    )

@@ -146,6 +146,13 @@ def cerf_factory(config: Optional[LinebackerConfig] = None) -> CERFFactory:
     return CERFFactory(config)
 
 
-def run_cerf(config: SimulationConfig, kernel: KernelTrace) -> SimulationResult:
+def run_cerf(
+    config: SimulationConfig, kernel: KernelTrace, keep_objects: bool = False
+) -> SimulationResult:
     """Run a kernel under CERF."""
-    return run_kernel(config, kernel, extension_factory=cerf_factory(config.linebacker))
+    return run_kernel(
+        config,
+        kernel,
+        extension_factory=cerf_factory(config.linebacker),
+        keep_objects=keep_objects,
+    )

@@ -53,6 +53,13 @@ def pcal_factory(config: Optional[LinebackerConfig] = None) -> PCALFactory:
     return PCALFactory(config)
 
 
-def run_pcal(config: SimulationConfig, kernel: KernelTrace) -> SimulationResult:
+def run_pcal(
+    config: SimulationConfig, kernel: KernelTrace, keep_objects: bool = False
+) -> SimulationResult:
     """Run a kernel under PCAL."""
-    return run_kernel(config, kernel, extension_factory=pcal_factory(config.linebacker))
+    return run_kernel(
+        config,
+        kernel,
+        extension_factory=pcal_factory(config.linebacker),
+        keep_objects=keep_objects,
+    )

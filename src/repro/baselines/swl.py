@@ -34,12 +34,17 @@ class BestSWLResult:
 
 
 def run_swl(
-    config: SimulationConfig, kernel: KernelTrace, cta_limit: int
+    config: SimulationConfig,
+    kernel: KernelTrace,
+    cta_limit: int,
+    keep_objects: bool = False,
 ) -> SimulationResult:
     """Run with a static per-SM concurrent-CTA limit."""
     if cta_limit < 1:
         raise ValueError("CTA limit must be at least 1")
-    return run_kernel(config, kernel, max_concurrent_ctas=cta_limit)
+    return run_kernel(
+        config, kernel, max_concurrent_ctas=cta_limit, keep_objects=keep_objects
+    )
 
 
 def sweep_limits(max_occupancy: int) -> list[int]:

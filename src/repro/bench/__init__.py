@@ -1,0 +1,27 @@
+"""Simulator throughput benchmarking.
+
+This package measures how fast the *simulator itself* runs — host
+instructions-per-second and cycles-per-second over the paper's 20-app
+workload suite — as opposed to ``benchmarks/``, which reproduces the
+paper's figures. The harness always runs cold (straight through
+:func:`repro.gpu.gpu.run_kernel`, never the persistent result cache)
+so the numbers reflect the cycle engine, not memoization.
+"""
+
+from repro.bench.sim_throughput import (
+    AppThroughput,
+    BenchReport,
+    SimThroughput,
+    compare_reports,
+    load_report,
+    write_report,
+)
+
+__all__ = [
+    "AppThroughput",
+    "BenchReport",
+    "SimThroughput",
+    "compare_reports",
+    "load_report",
+    "write_report",
+]

@@ -168,6 +168,13 @@ class LinebackerExtension(SMExtension):
         if cfg.enable_victim_cache:
             for vp in self.vtt.partitions:
                 self.vtt.activate(vp.index)
+        # Capability flags for the SM's hot load path: ablation
+        # variants with the victim cache disabled skip the
+        # lookup_victim/on_store hooks entirely, and only the PCAL
+        # combination ever bypasses.
+        self.has_victim_cache = cfg.enable_victim_cache
+        self.wants_store_events = cfg.enable_victim_cache
+        self.may_bypass = self.bypass is not None
 
     # ------------------------------------------------------------------
     # Windowing
@@ -479,7 +486,9 @@ class LinebackerExtension(SMExtension):
         )
 
     def _schedule_callback(self, ready_cycle: int, callback) -> None:
-        self.sm.schedule_event(ready_cycle, "callback", callback)
+        from repro.gpu.sm import EV_CALLBACK
+
+        self.sm.schedule_event(ready_cycle, EV_CALLBACK, callback)
 
     # ------------------------------------------------------------------
     def finalize(self, cycle: int) -> None:

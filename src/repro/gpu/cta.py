@@ -23,7 +23,7 @@ class CTAState(enum.Enum):
     FINISHED = "finished"
 
 
-@dataclass
+@dataclass(slots=True)
 class CTA:
     """One resident CTA."""
 

@@ -26,11 +26,59 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 
 class SMExtension:
-    """No-op policy: the baseline GPU."""
+    """No-op policy: the baseline GPU.
+
+    Capability flags
+    ----------------
+    The SM's load path is the hottest code in the simulator; calling
+    four no-op hooks per load line costs more than the rest of the line
+    handling. Each extension therefore advertises cheap capability
+    flags the SM reads once per instruction:
+
+    * ``wants_ticks`` — ``on_tick`` does something.
+    * ``wants_load_outcomes`` — ``on_load_outcome`` does something.
+    * ``has_victim_cache`` — ``lookup_victim`` can return a hit.
+    * ``may_bypass`` — ``should_bypass`` can return True.
+    * ``wants_store_events`` — ``on_store`` does something.
+    * ``controls_fill`` — ``allocate_fill`` can return False.
+    * ``wants_evictions`` — ``on_l1_eviction`` does something.
+
+    The class defaults are ``None`` = "auto": :meth:`attach` resolves
+    them by checking whether the subclass overrides the corresponding
+    hook, so existing extensions (and ad-hoc test doubles) keep exactly
+    their old behaviour without declaring anything. A subclass may pin
+    a flag explicitly (class attribute or instance attribute set before
+    ``attach``) when the override is conditionally inert — e.g.
+    Linebacker with ``enable_victim_cache=False``.
+    """
+
+    wants_ticks: "bool | None" = None
+    wants_load_outcomes: "bool | None" = None
+    has_victim_cache: "bool | None" = None
+    may_bypass: "bool | None" = None
+    wants_store_events: "bool | None" = None
+    controls_fill: "bool | None" = None
+    wants_evictions: "bool | None" = None
 
     def attach(self, sm: "SM") -> None:
         """Called once when the SM is constructed."""
         self.sm = sm
+        base = SMExtension
+        cls = type(self)
+        if self.wants_ticks is None:
+            self.wants_ticks = cls.on_tick is not base.on_tick
+        if self.wants_load_outcomes is None:
+            self.wants_load_outcomes = cls.on_load_outcome is not base.on_load_outcome
+        if self.has_victim_cache is None:
+            self.has_victim_cache = cls.lookup_victim is not base.lookup_victim
+        if self.may_bypass is None:
+            self.may_bypass = cls.should_bypass is not base.should_bypass
+        if self.wants_store_events is None:
+            self.wants_store_events = cls.on_store is not base.on_store
+        if self.controls_fill is None:
+            self.controls_fill = cls.allocate_fill is not base.allocate_fill
+        if self.wants_evictions is None:
+            self.wants_evictions = cls.on_l1_eviction is not base.on_l1_eviction
 
     # -- per-cycle / windowing -------------------------------------------
     def on_tick(self, cycle: int) -> None:

@@ -8,12 +8,15 @@ can issue), which keeps memory-bound simulation tractable in Python.
 
 from __future__ import annotations
 
+import gc
+import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.config import WARP_REGISTER_BYTES, GPUConfig, SimulationConfig
 from repro.gpu.extension import SMExtension
 from repro.gpu.sm import SM
+from repro.gpu.snapshot import snapshot_extension, snapshot_sm
 from repro.gpu.stats import SMStats
 from repro.gpu.trace import KernelTrace
 from repro.memory.subsystem import MemorySubsystem, TrafficStats
@@ -132,7 +135,7 @@ class GPU:
             for i in range(config.gpu.num_sms)
         ]
 
-    def run(self) -> SimulationResult:
+    def run(self, keep_objects: bool = True) -> SimulationResult:
         """Run the kernel to completion (or the cycle cap).
 
         Each SM caches its next interesting cycle ("hint"); an SM is
@@ -140,30 +143,41 @@ class GPU:
         stalled SMs cost nothing per cycle. Hints can only change when
         the owning SM ticks (all of an SM's events live on its own
         heap), which makes the caching sound.
+
+        The hints live on a min-heap of ``(hint, sm_id)`` so advancing
+        the clock is O(log SMs) instead of a dict scan per iteration.
+        Every SM holds exactly one live heap entry (its entry is popped
+        before it ticks and re-pushed after), so entries never go
+        stale; a finished SM simply is not re-pushed. Due SMs are
+        ticked in ascending ``sm_id`` order — the same order the old
+        dict scan used — because tick order is visible through the
+        shared L2/DRAM timing state.
+
+        ``keep_objects=False`` returns a result carrying lightweight
+        SM/extension snapshots instead of the live object graph.
         """
         cycle = 0
         max_cycles = self.config.max_cycles
-        active = {sm.sm_id: sm for sm in self.sms if not sm.done}
-        hints = {sm_id: 0.0 for sm_id in active}
-        while active and cycle < max_cycles:
-            next_cycle = min(hints.values())
-            if next_cycle == float("inf"):
-                break
-            cycle = max(cycle + 1, int(next_cycle))
-            if cycle > max_cycles:
-                cycle = max_cycles
-                break
-            finished = []
-            for sm_id, sm in active.items():
-                if hints[sm_id] <= cycle:
-                    sm.tick(cycle)
-                    if sm.done:
-                        finished.append(sm_id)
-                    else:
-                        hints[sm_id] = sm.next_event_cycle(cycle)
-            for sm_id in finished:
-                del active[sm_id]
-                del hints[sm_id]
+        # SMs are constructed with sm_id == index, so the list doubles
+        # as the id -> SM map.
+        sms = self.sms
+        heap = [(0.0, sm.sm_id) for sm in sms if not sm.done]
+        heapq.heapify(heap)
+        heappush, heappop = heapq.heappush, heapq.heappop
+        inf = float("inf")
+        # The run loop allocates heavily (instructions, event tuples,
+        # cache lines) but creates no cycles that must die mid-run, so
+        # the generational collector only adds pauses — pause it for
+        # the duration and restore the caller's setting after.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            self._run_loop(cycle, max_cycles, sms, heap, heappush, heappop, inf)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        cycle = self._final_cycle
         for sm in self.sms:
             sm.finalize(cycle)
         return SimulationResult(
@@ -175,9 +189,49 @@ class GPU:
             dram_writes=self.memory.dram.stats.writes,
             l1_stats=[sm.l1.stats for sm in self.sms],
             rf_stats=[sm.register_file.stats for sm in self.sms],
-            extensions=[sm.extension for sm in self.sms],
-            sms=self.sms,
+            extensions=(
+                [sm.extension for sm in self.sms]
+                if keep_objects
+                else [snapshot_extension(sm.extension) for sm in self.sms]
+            ),
+            sms=(
+                list(self.sms)
+                if keep_objects
+                else [snapshot_sm(sm) for sm in self.sms]
+            ),
         )
+
+    def _run_loop(self, cycle, max_cycles, sms, heap, heappush, heappop, inf):
+        while heap and cycle < max_cycles:
+            next_cycle = heap[0][0]
+            if next_cycle == inf:
+                break
+            cycle = max(cycle + 1, int(next_cycle))
+            if cycle > max_cycles:
+                cycle = max_cycles
+                break
+            first_id = heappop(heap)[1]
+            if not heap or heap[0][0] > cycle:
+                # Fast path: exactly one SM due, no ordering concerns.
+                sm = sms[first_id]
+                hint = sm.tick(cycle)
+                if not sm.done:
+                    if hint is None:
+                        hint = sm.next_event_cycle(cycle)
+                    heappush(heap, (hint, first_id))
+                continue
+            due = [first_id]
+            while heap and heap[0][0] <= cycle:
+                due.append(heappop(heap)[1])
+            due.sort()
+            for sm_id in due:
+                sm = sms[sm_id]
+                hint = sm.tick(cycle)
+                if not sm.done:
+                    if hint is None:
+                        hint = sm.next_event_cycle(cycle)
+                    heappush(heap, (hint, sm_id))
+        self._final_cycle = cycle
 
 
 def statically_unused_register_bytes(config: GPUConfig, kernel: KernelTrace) -> int:
@@ -202,8 +256,18 @@ def run_kernel(
     extension_factory: Optional[ExtensionFactory] = None,
     max_concurrent_ctas: Optional[int] = None,
     track_loads: bool = False,
+    keep_objects: bool = False,
 ) -> SimulationResult:
-    """Convenience wrapper: build a GPU and run one kernel."""
+    """Convenience wrapper: build a GPU and run one kernel.
+
+    By default the result carries SM/extension *snapshots* (every
+    statistic, the load tracker, Linebacker's monitor/VTT) rather than
+    the live simulator graph, so sweeps holding thousands of results
+    don't keep every SM — and through it the whole memory hierarchy —
+    alive. Pass ``keep_objects=True`` to retain the live SMs and
+    extensions (tests that poke at MSHRs or register files need this);
+    the GPU object itself is discarded either way.
+    """
     gpu = GPU(
         config,
         kernel,
@@ -211,4 +275,4 @@ def run_kernel(
         max_concurrent_ctas=max_concurrent_ctas,
         track_loads=track_loads,
     )
-    return gpu.run()
+    return gpu.run(keep_objects=keep_objects)

@@ -39,30 +39,58 @@ class Instruction:
             access yields one address; a divergent one yields several.
         operands: Number of register operands read/written — used by
             the register-file bank-conflict model.
+        hpc: The 5-bit XOR-folded PC, precomputed at trace-build time
+            so the SM's load path never hashes on issue. Derived from
+            ``pc``; never pass it explicitly.
     """
 
     op: Op
     pc: int = 0
     line_addrs: tuple[int, ...] = ()
     operands: int = 3
+    hpc: int = -1
 
     def __post_init__(self) -> None:
-        if self.op in (Op.LOAD, Op.STORE) and not self.line_addrs:
-            raise ValueError(f"{self.op} instruction requires line addresses")
+        op = self.op
+        if (op is Op.LOAD or op is Op.STORE) and not self.line_addrs:
+            raise ValueError(f"{op} instruction requires line addresses")
+        if self.hpc < 0:
+            object.__setattr__(self, "hpc", _hashed_pc_memo(self.pc))
 
     @property
     def is_memory(self) -> bool:
         return self.op in (Op.LOAD, Op.STORE)
 
 
+#: Interned ALU/EXIT instructions: a trace yields millions of dynamic
+#: ALU instances that are all identical per static PC, so the
+#: generators share one frozen object instead of allocating each time.
+_ALU_MEMO: dict[tuple[int, int], Instruction] = {}
+_EXIT = None
+
+
 def alu(pc: int = 0, operands: int = 3) -> Instruction:
     """Convenience constructor for an arithmetic instruction."""
-    return Instruction(op=Op.ALU, pc=pc, operands=operands)
+    inst = _ALU_MEMO.get((pc, operands))
+    if inst is None:
+        inst = _ALU_MEMO[(pc, operands)] = Instruction(
+            op=Op.ALU, pc=pc, operands=operands
+        )
+    return inst
 
 
-def load(pc: int, line_addrs: Sequence[int], operands: int = 2) -> Instruction:
-    """Convenience constructor for a global load instruction."""
-    return Instruction(op=Op.LOAD, pc=pc, line_addrs=tuple(line_addrs), operands=operands)
+def load(
+    pc: int, line_addrs: Sequence[int], operands: int = 2, hpc: int = -1
+) -> Instruction:
+    """Convenience constructor for a global load instruction.
+
+    ``hpc`` may be supplied by bulk generators that hoisted the
+    ``hashed_pc`` of a static PC out of their emission loop; it must
+    equal ``hashed_pc(pc)``.
+    """
+    return Instruction(
+        op=Op.LOAD, pc=pc, line_addrs=tuple(line_addrs), operands=operands, hpc=hpc
+    )
 
 
 def store(pc: int, line_addrs: Sequence[int], operands: int = 2) -> Instruction:
@@ -72,7 +100,10 @@ def store(pc: int, line_addrs: Sequence[int], operands: int = 2) -> Instruction:
 
 def exit_inst() -> Instruction:
     """Terminates a warp's trace."""
-    return Instruction(op=Op.EXIT)
+    global _EXIT
+    if _EXIT is None:
+        _EXIT = Instruction(op=Op.EXIT)
+    return _EXIT
 
 
 def hashed_pc(pc: int, bits: int = 5) -> int:
@@ -90,4 +121,16 @@ def hashed_pc(pc: int, bits: int = 5) -> int:
     while value:
         folded ^= value & mask
         value >>= bits
+    return folded
+
+
+#: hashed_pc memo keyed by PC: kernels have a handful of static PCs,
+#: so Instruction construction pays one dict probe, not an XOR fold.
+_HPC_MEMO: dict[int, int] = {}
+
+
+def _hashed_pc_memo(pc: int) -> int:
+    folded = _HPC_MEMO.get(pc)
+    if folded is None:
+        folded = _HPC_MEMO[pc] = hashed_pc(pc)
     return folded

@@ -24,7 +24,7 @@ from typing import Iterable, Optional
 from repro.config import WARP_REGISTER_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class RegisterFileStats:
     reads: int = 0
     writes: int = 0

@@ -13,15 +13,28 @@ from typing import Optional
 
 from repro.gpu.warp import Warp, WarpState
 
+#: Hoisted: `warp.state is _READY` in the pick/next-ready loops skips
+#: the WarpState class attribute lookup per scanned warp.
+_READY = WarpState.READY
+
 
 class GTOScheduler:
     """One of the SM's warp schedulers."""
+
+    __slots__ = ("scheduler_id", "warps", "_greedy", "issues", "cached_hint", "hint_valid")
 
     def __init__(self, scheduler_id: int) -> None:
         self.scheduler_id = scheduler_id
         self.warps: list[Warp] = []
         self._greedy: Optional[Warp] = None
         self.issues = 0
+        #: Memoized min ready_cycle over this scheduler's READY warps,
+        #: set by the SM's fused tick when a scan finds nothing
+        #: issuable. While valid (no wake/fill/CTA churn touched these
+        #: warps since), the SM skips the scheduler's warp scan
+        #: entirely. Maintained by the SM, not the scheduler.
+        self.cached_hint: float = 0.0
+        self.hint_valid = False
 
     def add_warp(self, warp: Warp) -> None:
         self.warps.append(warp)
@@ -37,7 +50,7 @@ class GTOScheduler:
         ``warps`` is kept in launch order, so the first ready warp in
         the list *is* the oldest — the scan stops at the first hit.
         """
-        ready = WarpState.READY
+        ready = _READY
         greedy = self._greedy
         if greedy is not None and greedy.state is ready and greedy.ready_cycle <= cycle:
             return greedy
@@ -54,7 +67,7 @@ class GTOScheduler:
         """Earliest future cycle at which some warp becomes issuable,
         considering only warps that are READY with a future ready_cycle.
         Blocked warps wake via memory responses, not the clock."""
-        ready = WarpState.READY
+        ready = _READY
         floor = cycle + 1
         best: Optional[int] = None
         for warp in self.warps:

@@ -19,7 +19,7 @@ from typing import Callable, Optional
 from repro.config import GPUConfig
 from repro.gpu.cta import CTA, CTAState
 from repro.gpu.extension import SMExtension
-from repro.gpu.isa import Instruction, Op, hashed_pc
+from repro.gpu.isa import Instruction, Op
 from repro.gpu.register_file import RegisterFile
 from repro.gpu.scheduler import GTOScheduler
 from repro.gpu.stats import LoadTracker, SMStats
@@ -33,6 +33,26 @@ from repro.memory.subsystem import MemorySubsystem
 CTASource = Callable[[], Optional[int]]
 
 _NO_EVENT = float("inf")
+
+# Event kinds on the SM's event heap. Int constants compare faster
+# than strings in the per-event dispatch and keep heap entries small.
+EV_FILL = 0      # payload: line_addr whose off-chip fetch completed
+EV_WAKE = 1      # payload: the Warp to deliver a memory response to
+EV_CALLBACK = 2  # payload: callable(cycle), e.g. backup/restore steps
+
+#: Legacy string spellings, accepted by :meth:`SM.schedule_event`.
+_EVENT_KINDS = {"fill": EV_FILL, "wake": EV_WAKE, "callback": EV_CALLBACK}
+
+# Hot enum members hoisted to module level: `inst.op is _OP_ALU` skips
+# the Op class attribute lookup on every issued instruction.
+_OP_ALU = Op.ALU
+_OP_LOAD = Op.LOAD
+_OP_EXIT = Op.EXIT
+_OP_STORE = Op.STORE
+_READY = WarpState.READY
+_BLOCKED = WarpState.BLOCKED
+_INACTIVE = WarpState.INACTIVE
+_FINISHED = WarpState.FINISHED
 
 
 class SM:
@@ -86,6 +106,47 @@ class SM:
             self.occupancy_limit = min(self.occupancy_limit, max_concurrent_ctas)
 
         self.extension.attach(self)
+        # Capability flags resolved once: the load path reads plain
+        # bools instead of making four dynamic no-op calls per line.
+        # A still-None flag (an attach override that skipped super())
+        # falls back to the same auto-detection the base attach does.
+        ext = self.extension
+        cls, base = type(ext), SMExtension
+
+        def flag(value, hook: str) -> bool:
+            if value is not None:
+                return bool(value)
+            return getattr(cls, hook) is not getattr(base, hook)
+
+        self._ext_wants_ticks = flag(ext.wants_ticks, "on_tick")
+        self._ext_wants_load_outcomes = flag(ext.wants_load_outcomes, "on_load_outcome")
+        self._ext_has_victim_cache = flag(ext.has_victim_cache, "lookup_victim")
+        self._ext_may_bypass = flag(ext.may_bypass, "should_bypass")
+        self._ext_wants_store_events = flag(ext.wants_store_events, "on_store")
+        self._ext_controls_fill = flag(ext.controls_fill, "allocate_fill")
+        self._ext_wants_evictions = flag(ext.wants_evictions, "on_l1_eviction")
+        # Inert = no hook can observe or mutate per-issue state, which
+        # licenses the fused tick/next-event scan (see tick()).
+        self._ext_inert = not (
+            self._ext_wants_ticks
+            or self._ext_wants_load_outcomes
+            or self._ext_has_victim_cache
+            or self._ext_may_bypass
+            or self._ext_wants_store_events
+            or self._ext_controls_fill
+            or self._ext_wants_evictions
+        )
+        self._cta_dirty = False
+        # Stable sub-objects of the L1/MSHR, hoisted once. The cache
+        # never rebinds ``_sets`` and the MSHR file never rebinds
+        # ``_entries`` (both mutate in place), so the load path can
+        # skip two levels of attribute traversal per call.
+        self._l1_sets = self.l1._sets
+        self._l1_num_sets = self.l1.num_sets
+        self._mshr_entries = self.mshr._entries
+        self._mshr_capacity = self.mshr.capacity
+        self._alu_latency = config.alu_latency
+        self._l1_hit_latency = config.l1_hit_latency
         self._fill_occupancy(cycle=0)
 
     # ------------------------------------------------------------------
@@ -111,6 +172,9 @@ class SM:
                 break
 
     def _launch_next_cta(self, cycle: int) -> bool:
+        self._cta_dirty = True
+        for s in self.schedulers:
+            s.hint_valid = False
         grid_id = self.cta_source()
         if grid_id is None:
             return False
@@ -149,6 +213,9 @@ class SM:
         return (slot << 20) ^ (reg * 2654435761 & 0xFFFFF)
 
     def _complete_cta(self, cta: CTA, cycle: int) -> None:
+        self._cta_dirty = True
+        for s in self.schedulers:
+            s.hint_valid = False
         cta.state = CTAState.FINISHED
         self.extension.on_cta_finished(cta.slot, cycle)
         if cta.register_range is not None:
@@ -166,83 +233,331 @@ class SM:
     # ------------------------------------------------------------------
     # Event plumbing
     # ------------------------------------------------------------------
-    def schedule_event(self, ready_cycle: int, kind: str, payload: object) -> None:
+    def schedule_event(self, ready_cycle: int, kind: "int | str", payload: object) -> None:
+        """Queue an event. ``kind`` is one of :data:`EV_FILL`,
+        :data:`EV_WAKE`, :data:`EV_CALLBACK` (legacy string spellings
+        are translated)."""
+        if kind.__class__ is not int:
+            kind = _EVENT_KINDS[kind]
         heapq.heappush(self._events, (ready_cycle, next(self._event_seq), kind, payload))
 
     def _process_events(self, cycle: int) -> None:
-        while self._events and self._events[0][0] <= cycle:
-            ready, _, kind, payload = heapq.heappop(self._events)
-            if kind == "fill":
-                self._handle_fill(payload, ready)  # type: ignore[arg-type]
-            elif kind == "wake":
-                payload.memory_response(ready)  # type: ignore[union-attr]
-            elif kind == "callback":
-                payload(ready)  # type: ignore[operator]
+        events = self._events
+        if not events or events[0][0] > cycle:
+            return
+        heappop = heapq.heappop
+        handle_fill = self._handle_fill
+        ready_state = _READY
+        blocked = _BLOCKED
+        inactive = _INACTIVE
+        scheds = self.schedulers
+        nsched = len(scheds)
+        while events and events[0][0] <= cycle:
+            ready, _, kind, payload = heappop(events)
+            if kind == EV_WAKE:
+                # Inlined Warp.memory_response — one wake event arrives
+                # per load line, making this the busiest event kind.
+                pending = payload.pending_responses - 1
+                if pending < 0:
+                    raise RuntimeError("memory response for warp with none pending")
+                payload.pending_responses = pending
+                if payload.state is blocked and pending < payload.max_outstanding:
+                    if payload.throttled:
+                        payload.state = inactive
+                    else:
+                        payload.state = ready_state
+                        # The warp joined its scheduler's READY set:
+                        # the memoized scheduler hint is stale.
+                        scheds[payload.warp_id % nsched].hint_valid = False
+                    if payload.ready_cycle < ready:
+                        payload.ready_cycle = ready
+            elif kind == EV_FILL:
+                handle_fill(payload, ready)
+            elif kind == EV_CALLBACK:
+                # Callbacks may mutate arbitrary warp state.
+                for s in scheds:
+                    s.hint_valid = False
+                payload(ready)
             else:  # pragma: no cover - defensive
                 raise ValueError(f"unknown event kind {kind!r}")
 
     def _handle_fill(self, line_addr: int, cycle: int) -> None:
-        waiters = self.mshr.release(line_addr)
-        if self.extension.allocate_fill(line_addr):
+        # Inlined mshr.release(); the extension hooks are gated on the
+        # capability flags (allocate_fill defaults to True, eviction
+        # notification to a no-op).
+        waiters = self._mshr_entries.pop(line_addr, [])
+        if not self._ext_controls_fill or self.extension.allocate_fill(line_addr):
             hpc = waiters[0][1] if waiters else 0
             owner = waiters[0][0].warp_id if waiters else -1
             evicted = self.l1.fill(line_addr, token=line_addr, hpc=hpc, owner=owner)
-            if evicted is not None:
+            if evicted is not None and self._ext_wants_evictions:
                 self.extension.on_l1_eviction(evicted[0], evicted[1], cycle)
+        scheds = self.schedulers
+        nsched = len(scheds)
         for warp, _hpc in waiters:
             warp.memory_response(cycle)
+            scheds[warp.warp_id % nsched].hint_valid = False
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def tick(self, cycle: int) -> None:
-        """Advance the SM to ``cycle``: deliver responses, then issue."""
+    def tick(self, cycle: int) -> "float | None":
+        """Advance the SM to ``cycle``: deliver responses, then issue.
+
+        The per-scheduler issue loop inlines both the GTO pick (greedy
+        warp first, else oldest ready — identical to
+        :meth:`GTOScheduler.pick`) and the ALU retire path, the two
+        most frequent call chains in the simulator.
+
+        Returns the SM's next interesting cycle when it could be
+        computed during the issue scan (always, for inert extensions
+        without a mid-tick CTA transition), else None — the caller
+        falls back to :meth:`next_event_cycle`. The fused hint is
+        bit-identical to what :meth:`next_event_cycle` would return
+        after the tick: every non-picked warp's state is frozen during
+        the scan (wakes only happen in ``_process_events``, and CTA
+        completions — the one issue-path mutation that touches other
+        schedulers' warps — invalidate the fused hint via
+        ``_cta_dirty``), and a picked warp's post-issue ready cycle is
+        always ``> cycle`` or its state leaves READY.
+        """
         self.cycle = cycle
-        self._process_events(cycle)
-        self.extension.on_tick(cycle)
+        events = self._events
+        if events and events[0][0] <= cycle:
+            self._process_events(cycle)
+        if self._ext_inert:
+            # Fused issue + next-event-hint scan, inlined (one call per
+            # run-loop iteration). Legal only for inert extensions: no
+            # hook can mutate warp state mid-issue, so each scheduler
+            # is scanned exactly once — the scan both picks the GTO
+            # warp and accumulates the minimum future ready cycle of
+            # the remaining READY warps, replacing the separate
+            # post-tick next_event_cycle rescan.
+            self._cta_dirty = False
+            ready = _READY
+            stats = self.stats
+            rf_account = self.register_file.account_operand_traffic
+            alu_ready = cycle + self._alu_latency
+            issue = self._issue
+            execute_load = self._execute_load
+            mshr_entries = self._mshr_entries
+            mshr_capacity = self._mshr_capacity
+            l1_sets = self._l1_sets
+            num_sets = self._l1_num_sets
+            hint: float = _NO_EVENT
+            for scheduler in self.schedulers:
+                if scheduler.hint_valid:
+                    # No wake/fill/CTA churn has touched this
+                    # scheduler's warps since its last idle scan: its
+                    # min READY ready_cycle is unchanged, so the warp
+                    # scan can be skipped outright.
+                    ch = scheduler.cached_hint
+                    if ch > cycle:
+                        if ch < hint:
+                            hint = ch
+                        continue
+                    # The clock caught up with the memoized hint: a
+                    # warp is now issuable — rescan below.
+                    scheduler.hint_valid = False
+                pick = scheduler._greedy
+                if (
+                    pick is not None
+                    and pick.state is ready
+                    and pick.ready_cycle <= cycle
+                ):
+                    # Greedy hit: the other warps still need a hint
+                    # pass — unless the hint already sits at its floor
+                    # (``cycle``: some warp is issuable next cycle), in
+                    # which case no warp can lower it further.
+                    if hint > cycle:
+                        for w in scheduler.warps:
+                            if w is not pick and w.state is ready:
+                                rc = w.ready_cycle
+                                if rc <= cycle:
+                                    hint = cycle  # floor; stop scanning
+                                    break
+                                if rc < hint:
+                                    hint = rc
+                else:
+                    pick = None
+                    sched_min: float = _NO_EVENT
+                    for w in scheduler.warps:
+                        if w.state is ready:
+                            rc = w.ready_cycle
+                            if rc <= cycle:
+                                if pick is None:
+                                    scheduler._greedy = pick = w
+                                    if hint <= cycle:
+                                        break  # floor already reached
+                                else:
+                                    hint = cycle  # another issuable warp
+                                    break
+                            elif rc < sched_min:
+                                sched_min = rc
+                    if sched_min < hint:
+                        hint = sched_min
+                    if pick is None:
+                        # Nothing issuable and the scan completed:
+                        # memoize this scheduler's exact hint.
+                        scheduler.cached_hint = sched_min
+                        scheduler.hint_valid = True
+                        continue
+                inst = pick._next_inst
+                if inst is None:
+                    # Defensive (READY warp without an instruction):
+                    # the old rescan reported it issuable.
+                    hint = cycle
+                    continue
+                op = inst.op
+                if op is _OP_ALU:
+                    pick.ready_cycle = alu_ready
+                    stats.instructions += 1
+                    if inst.operands:
+                        rf_account(inst.operands, pick.base_register, cycle)
+                    pick.instructions_retired += 1
+                    nxt = next(pick._trace, None)
+                    pick._next_inst = nxt
+                    if nxt is None:
+                        pick.state = _FINISHED
+                    elif alu_ready < hint:
+                        hint = alu_ready
+                    scheduler.issues += 1
+                elif op is _OP_LOAD:
+                    addrs = inst.line_addrs
+                    if len(mshr_entries) + len(addrs) > mshr_capacity:
+                        # Inlined MSHR admissibility check (the
+                        # replay-storm fast path: during an MSHR stall
+                        # the same load re-enters here every 4 cycles,
+                        # so the stall outcome skips the _execute_load
+                        # frame entirely). A line needs a fresh entry
+                        # unless it merges or hits in L1.
+                        free = mshr_capacity - len(mshr_entries)
+                        stalled = False
+                        for a in addrs:
+                            if (
+                                a not in mshr_entries
+                                and l1_sets[a % num_sets].get(a // num_sets)
+                                is None
+                            ):
+                                free -= 1
+                                if free < 0:
+                                    stalled = True
+                                    break
+                        if stalled:
+                            self.mshr.stalls += 1
+                            pick.ready_cycle = rc = cycle + 4
+                            if rc < hint:
+                                hint = rc
+                            continue
+                    if execute_load(pick, inst, cycle):
+                        scheduler.issues += 1
+                    if pick.state is ready and pick.ready_cycle < hint:
+                        hint = pick.ready_cycle
+                else:
+                    if issue(pick, inst, cycle):
+                        scheduler.issues += 1
+                    if pick.state is ready and pick.ready_cycle < hint:
+                        hint = pick.ready_cycle
+            if self._cta_dirty:
+                # A CTA completed/launched mid-tick: warps were added
+                # or removed across schedulers, so the accumulated hint
+                # is stale. Fall back to the full rescan.
+                return None
+            if events:
+                first = events[0][0]
+                if first < hint:
+                    hint = first
+            elif not self.ctas:
+                return _NO_EVENT  # drained (caller checks .done first)
+            if hint == _NO_EVENT:
+                # Deadlock guard, as in next_event_cycle.
+                hint = cycle + 1
+            return hint
+        if self._ext_wants_ticks:
+            self.extension.on_tick(cycle)
+        ready = _READY
+        stats = self.stats
+        rf_account = self.register_file.account_operand_traffic
+        alu_ready = cycle + self._alu_latency
+        issue = self._issue
+        execute_load = self._execute_load
         for scheduler in self.schedulers:
-            warp = scheduler.pick(cycle)
-            if warp is None:
-                continue
-            inst = warp.peek()
+            warp = scheduler._greedy
+            if warp is None or warp.state is not ready or warp.ready_cycle > cycle:
+                warp = None
+                for w in scheduler.warps:
+                    if w.state is ready and w.ready_cycle <= cycle:
+                        scheduler._greedy = warp = w
+                        break
+                if warp is None:
+                    continue
+            inst = warp._next_inst
             if inst is None:
                 continue
-            issued = self._issue(warp, inst, cycle)
-            if issued:
-                scheduler.note_issue()
+            op = inst.op
+            if op is _OP_ALU:
+                warp.ready_cycle = alu_ready
+                stats.instructions += 1
+                if inst.operands:
+                    rf_account(inst.operands, warp.base_register, cycle)
+                warp.instructions_retired += 1
+                nxt = next(warp._trace, None)
+                warp._next_inst = nxt
+                if nxt is None:
+                    warp.state = _FINISHED
+                scheduler.issues += 1
+            elif op is _OP_LOAD:
+                # Loads (and their MSHR-stall replays) skip the _issue
+                # dispatch frame.
+                if execute_load(warp, inst, cycle):
+                    scheduler.issues += 1
+            elif issue(warp, inst, cycle):
+                scheduler.issues += 1
+        return None
 
     def _issue(self, warp: Warp, inst: Instruction, cycle: int) -> bool:
         """Execute one instruction; returns False when it must retry."""
-        if inst.op is Op.ALU:
-            warp.ready_cycle = cycle + self.config.alu_latency
+        op = inst.op
+        if op is _OP_ALU:
+            warp.ready_cycle = cycle + self._alu_latency
             self._retire(warp, inst, cycle)
             return True
-        if inst.op is Op.EXIT:
+        if op is _OP_EXIT:
             self._retire(warp, inst, cycle)
             warp.state = WarpState.FINISHED
             cta = self.ctas.get(warp.cta_slot)
             if cta is not None and cta.all_warps_finished():
                 self._complete_cta(cta, cycle)
             return True
-        if inst.op is Op.STORE:
+        if op is _OP_STORE:
             self._execute_store(warp, inst, cycle)
             return True
         return self._execute_load(warp, inst, cycle)
 
     def _retire(self, warp: Warp, inst: Instruction, cycle: int) -> None:
+        # Inlines warp.retire_current()/_advance(); ``inst`` is the
+        # warp's current instruction, so the "nothing to retire" guard
+        # is unreachable here.
         self.stats.instructions += 1
         if inst.operands:
             self.register_file.account_operand_traffic(
                 inst.operands, warp.base_register, cycle
             )
-        warp.retire_current()
+        warp.instructions_retired += 1
+        nxt = next(warp._trace, None)
+        warp._next_inst = nxt
+        if nxt is None:
+            warp.state = _FINISHED
 
     def _execute_store(self, warp: Warp, inst: Instruction, cycle: int) -> None:
-        self.stats.stores += 1
+        stats = self.stats
+        stats.stores += 1
+        wants_stores = self._ext_wants_store_events
         for line_addr in inst.line_addrs:
-            self.stats.mem_requests += 1
+            stats.mem_requests += 1
             self.l1.write_access(line_addr)
-            self.extension.on_store(line_addr, cycle)
+            if wants_stores:
+                self.extension.on_store(line_addr, cycle)
             self.memory.write_line(line_addr, cycle, sm_id=self.sm_id)
         # Stores do not block the warp (fire and forget down the
         # write-through path); a small issue cost applies.
@@ -250,75 +565,144 @@ class SM:
         self._retire(warp, inst, cycle)
 
     def _execute_load(self, warp: Warp, inst: Instruction, cycle: int) -> bool:
-        """Issue a load; may block the warp on outstanding lines."""
-        cfg = self.config
-        # First pass: every line must be admissible (MSHR space) or the
-        # instruction replays without partial side effects. The replay
-        # backoff models the LSU's replay-queue interval and avoids
-        # burning an issue slot every cycle while the MSHRs drain.
+        """Issue a load; may block the warp on outstanding lines.
+
+        This is the hottest function in the simulator (every load line,
+        *plus* every MSHR-stall replay, lands here), so it reaches into
+        the L1/MSHR internals directly instead of going through their
+        probe/lookup helpers, and gates every extension hook on the
+        capability flags resolved at attach time.
+        """
+        mshr_entries = self._mshr_entries
         addrs = inst.line_addrs
-        free_mshrs = self.mshr.capacity - self.mshr.occupancy
-        if len(addrs) == 1:
-            a = addrs[0]
-            needs_mshr = self.l1.probe(a) is None and not self.mshr.lookup(a)
-            admissible = not needs_mshr or free_mshrs >= 1
-        else:
-            needed = sum(
-                1
-                for a in addrs
-                if self.l1.probe(a) is None and not self.mshr.lookup(a)
-            )
-            admissible = needed <= free_mshrs
-        if not admissible:
-            self.mshr.stalls += 1
-            warp.ready_cycle = cycle + 4
-            return False
+        # Every line must be admissible (MSHR space) or the instruction
+        # replays without partial side effects. The replay backoff
+        # models the LSU's replay-queue interval and avoids burning an
+        # issue slot every cycle while the MSHRs drain. Fast accept:
+        # with enough free entries for the worst case (every line a
+        # fresh miss), no per-line probing is needed — which makes the
+        # non-stalled path one comparison, and confines the probing to
+        # the replay storm where MSHRs are (nearly) full.
+        if len(mshr_entries) + len(addrs) > self._mshr_capacity:
+            num_sets = self._l1_num_sets
+            l1_sets = self._l1_sets
+            free_mshrs = self._mshr_capacity - len(mshr_entries)
+            for a in addrs:
+                # A line needs a fresh MSHR entry unless it merges into
+                # an in-flight miss or hits in L1; bail at the first
+                # line past the free-entry budget.
+                if (
+                    a not in mshr_entries
+                    and l1_sets[a % num_sets].get(a // num_sets) is None
+                ):
+                    free_mshrs -= 1
+                    if free_mshrs < 0:
+                        self.mshr.stalls += 1
+                        warp.ready_cycle = cycle + 4
+                        return False
 
-        hpc = hashed_pc(inst.pc)
-        self.stats.loads += 1
-        outstanding = 0
-        for line_addr in inst.line_addrs:
-            self.stats.mem_requests += 1
-            outstanding += 1
-            if self.extension.should_bypass(warp, line_addr, cycle):
-                self.stats.bypasses += 1
-                ready = self.memory.fetch_line(line_addr, cycle, sm_id=self.sm_id)
-                self.schedule_event(ready, "wake", warp)
-                self._track_load(inst.pc, line_addr, hit=False, cycle=cycle)
-                self.extension.on_load_outcome(inst.pc, hpc, line_addr, False, cycle, warp)
+        stats = self.stats
+        extension = self.extension
+        tracker = self.load_tracker
+        events = self._events
+        event_seq = self._event_seq
+        heappush = heapq.heappush
+        l1 = self.l1
+        l1_stats = l1.stats
+        l1_ever_seen = l1._ever_seen
+        l1_sets = self._l1_sets
+        num_sets = self._l1_num_sets
+        mshr = self.mshr
+        fetch_line = self.memory.fetch_line
+        sm_id = self.sm_id
+        may_bypass = self._ext_may_bypass
+        has_victim = self._ext_has_victim_cache
+        wants_outcomes = self._ext_wants_load_outcomes
+        pc = inst.pc
+        hpc = inst.hpc
+        warp_id = warp.warp_id
+        hit_ready = cycle + self._l1_hit_latency
+        stats.loads += 1
+        stats.mem_requests += len(addrs)
+        for line_addr in addrs:
+            if may_bypass and extension.should_bypass(warp, line_addr, cycle):
+                stats.bypasses += 1
+                ready = fetch_line(line_addr, cycle, sm_id=sm_id)
+                heappush(events, (ready, next(event_seq), EV_WAKE, warp))
+                if tracker is not None:
+                    tracker.record(pc, line_addr, False, cycle)
+                if wants_outcomes:
+                    extension.on_load_outcome(pc, hpc, line_addr, False, cycle, warp)
                 continue
 
-            line = self.l1.lookup(line_addr, hpc=hpc, owner=warp.warp_id)
+            # Inlined SetAssociativeCache.lookup (tag probe + LRU/stats
+            # update): bypassed lines above never touch the LRU clock,
+            # matching the out-of-line path. A hit moves the line to
+            # the end of its set dict — the ways are kept in LRU order
+            # so fill() evicts the first key without scanning.
+            clock = l1._clock + 1
+            l1._clock = clock
+            ways = l1_sets[line_addr % num_sets]
+            tag = line_addr // num_sets
+            line = ways.get(tag)
             if line is not None:
-                self.stats.l1_hits += 1
-                self.schedule_event(cycle + cfg.l1_hit_latency, "wake", warp)
-                self._track_load(inst.pc, line_addr, hit=True, cycle=cycle)
-                self.extension.on_load_outcome(inst.pc, hpc, line_addr, True, cycle, warp)
+                del ways[tag]
+                ways[tag] = line
+                line.last_use = clock
+                line.hpc = hpc
+                line.owner = warp_id
+                l1_stats.hits += 1
+                stats.l1_hits += 1
+                heappush(events, (hit_ready, next(event_seq), EV_WAKE, warp))
+                if tracker is not None:
+                    tracker.record(pc, line_addr, True, cycle)
+                if wants_outcomes:
+                    extension.on_load_outcome(pc, hpc, line_addr, True, cycle, warp)
                 continue
+            l1_stats.misses += 1
+            if line_addr in l1_ever_seen:
+                l1_stats.capacity_conflict_misses += 1
+            else:
+                l1_stats.cold_misses += 1
 
-            victim_latency = self.extension.lookup_victim(line_addr, hpc, cycle)
-            if victim_latency is not None:
-                self.stats.victim_hits += 1
-                self.schedule_event(cycle + victim_latency, "wake", warp)
-                self._track_load(inst.pc, line_addr, hit=True, cycle=cycle)
-                self.extension.on_load_outcome(inst.pc, hpc, line_addr, True, cycle, warp)
-                continue
+            if has_victim:
+                victim_latency = extension.lookup_victim(line_addr, hpc, cycle)
+                if victim_latency is not None:
+                    stats.victim_hits += 1
+                    heappush(
+                        events, (cycle + victim_latency, next(event_seq), EV_WAKE, warp)
+                    )
+                    if tracker is not None:
+                        tracker.record(pc, line_addr, True, cycle)
+                    if wants_outcomes:
+                        extension.on_load_outcome(pc, hpc, line_addr, True, cycle, warp)
+                    continue
 
-            self.stats.l1_misses += 1
-            self._track_load(inst.pc, line_addr, hit=False, cycle=cycle)
-            self.extension.on_load_outcome(inst.pc, hpc, line_addr, False, cycle, warp)
-            new_fetch = self.mshr.allocate(line_addr, (warp, hpc))
-            if new_fetch:
-                ready = self.memory.fetch_line(line_addr, cycle, sm_id=self.sm_id)
-                self.schedule_event(ready, "fill", line_addr)
+            stats.l1_misses += 1
+            if tracker is not None:
+                tracker.record(pc, line_addr, False, cycle)
+            if wants_outcomes:
+                extension.on_load_outcome(pc, hpc, line_addr, False, cycle, warp)
+            # Inlined MSHRFile.allocate. The admissibility gate above
+            # guarantees space for every fresh miss of this instruction,
+            # so allocate's full-file error path is unreachable here.
+            waiters = mshr_entries.get(line_addr)
+            if waiters is not None:
+                waiters.append((warp, hpc))
+                mshr.merged_requests += 1
+            else:
+                mshr_entries[line_addr] = [(warp, hpc)]
+                mshr.allocations += 1
+                ready = fetch_line(line_addr, cycle, sm_id=sm_id)
+                heappush(events, (ready, next(event_seq), EV_FILL, line_addr))
 
         self._retire(warp, inst, cycle)
         # Scoreboarding: every line (hit or miss) is an outstanding
         # response; the warp only blocks past its outstanding limit,
         # so hit-latency loads pipeline instead of serializing.
-        if outstanding:
-            warp.block_on_memory(outstanding)
-        warp.ready_cycle = max(warp.ready_cycle, cycle + 1)
+        warp.block_on_memory(len(addrs))
+        if warp.ready_cycle <= cycle:
+            warp.ready_cycle = cycle + 1
         return True
 
     def _track_load(self, pc: int, line_addr: int, hit: bool, cycle: int) -> None:
@@ -329,18 +713,40 @@ class SM:
     # Clocking interface for the GPU-level loop
     # ------------------------------------------------------------------
     def next_event_cycle(self, cycle: int) -> float:
-        """Earliest cycle at which this SM has work to do."""
-        if self.done:
+        """Earliest cycle at which this SM has work to do.
+
+        Inlines :meth:`GTOScheduler.next_ready_cycle` across all
+        schedulers with a global short-circuit: ``cycle`` (the old
+        per-scheduler ``floor``) is the smallest value any scheduler
+        can contribute, so the first already-issuable warp ends the
+        scan.
+        """
+        events = self._events
+        if not self.ctas and not events:  # done
             return _NO_EVENT
         best: float = _NO_EVENT
+        floor = cycle  # == (cycle - 1) + 1 in the old per-scheduler probe
+        ready = _READY
         for scheduler in self.schedulers:
-            nxt = scheduler.next_ready_cycle(cycle - 1)
-            if nxt is not None:
-                best = min(best, nxt)
-        if self._events:
-            best = min(best, self._events[0][0])
-        if best is _NO_EVENT and not self.done:
+            for w in scheduler.warps:
+                if w.state is ready:
+                    rc = w.ready_cycle
+                    if rc <= floor:
+                        best = floor
+                        break
+                    if rc < best:
+                        best = rc
+            else:
+                continue
+            break
+        if events:
+            first = events[0][0]
+            if first < best:
+                best = first
+        if best == _NO_EVENT:
             # Deadlock guard: inactive CTAs with nothing pending.
+            # (Equality, not identity — the sentinel is a float and
+            # object reuse through min() was never guaranteed.)
             best = cycle + 1
         return best
 

@@ -14,7 +14,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 
 
-@dataclass
+@dataclass(slots=True)
 class LoadBehavior:
     """Per-static-load (per PC) access behaviour within a window."""
 
@@ -55,7 +55,7 @@ class LoadBehavior:
         self._seen.clear()
 
 
-@dataclass
+@dataclass(slots=True)
 class SMStats:
     """Per-SM counters."""
 

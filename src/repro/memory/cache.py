@@ -42,7 +42,7 @@ class CacheLine:
 EvictionHook = Callable[[int, CacheLine], None]
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     hits: int = 0
     misses: int = 0
@@ -63,6 +63,17 @@ class CacheStats:
 
 class SetAssociativeCache:
     """LRU set-associative cache keyed by line address."""
+
+    __slots__ = (
+        "line_bytes",
+        "assoc",
+        "num_sets",
+        "_sets",
+        "_ever_seen",
+        "eviction_hook",
+        "stats",
+        "_clock",
+    )
 
     def __init__(
         self,
@@ -98,20 +109,33 @@ class SetAssociativeCache:
 
     def lookup(self, line_addr: int, hpc: int = 0, owner: int = -1) -> Optional[CacheLine]:
         """Read access: returns the line on hit (updating LRU, the
-        line's HPC field and owner), records hit/miss statistics."""
-        self._clock += 1
-        line = self.probe(line_addr)
+        line's HPC field and owner), records hit/miss statistics.
+
+        LRU order is the set dict's insertion order: every touch moves
+        the line to the end, so the victim is always the first key and
+        :meth:`fill` never scans the ways. The touch clock is unique
+        and monotone, so this is exactly the order an explicit
+        min-``last_use`` scan would produce.
+        """
+        clock = self._clock = self._clock + 1
+        stats = self.stats
+        num_sets = self.num_sets
+        ways = self._sets[line_addr % num_sets]
+        tag = line_addr // num_sets
+        line = ways.get(tag)
         if line is not None:
-            line.last_use = self._clock
+            del ways[tag]
+            ways[tag] = line
+            line.last_use = clock
             line.hpc = hpc
             line.owner = owner
-            self.stats.hits += 1
+            stats.hits += 1
             return line
-        self.stats.misses += 1
+        stats.misses += 1
         if line_addr in self._ever_seen:
-            self.stats.capacity_conflict_misses += 1
+            stats.capacity_conflict_misses += 1
         else:
-            self.stats.cold_misses += 1
+            stats.cold_misses += 1
         return None
 
     def fill(
@@ -121,31 +145,36 @@ class SetAssociativeCache:
         full. Returns ``(evicted_addr, evicted_line)`` when an eviction
         happened, else None. Filling a resident line refreshes it.
         """
-        self._clock += 1
+        clock = self._clock = self._clock + 1
         self._ever_seen.add(line_addr)
-        set_idx = self.set_index(line_addr)
+        num_sets = self.num_sets
+        set_idx = line_addr % num_sets
         ways = self._sets[set_idx]
-        tag = self.tag_of(line_addr)
-        if tag in ways:
-            line = ways[tag]
+        tag = line_addr // num_sets
+        line = ways.get(tag)
+        if line is not None:
+            del ways[tag]
+            ways[tag] = line
             line.token = token
             line.hpc = hpc
             line.owner = owner
-            line.last_use = self._clock
+            line.last_use = clock
             return None
 
         evicted: Optional[tuple[int, CacheLine]] = None
         if len(ways) >= self.assoc:
-            victim_tag = min(ways, key=lambda t: ways[t].last_use)
+            # The ways dict is kept in LRU order (see lookup), so the
+            # victim is the first key — no scan over the set.
+            victim_tag = next(iter(ways))
             victim = ways.pop(victim_tag)
-            victim_addr = victim_tag * self.num_sets + set_idx
+            victim_addr = victim_tag * num_sets + set_idx
             self.stats.evictions += 1
             evicted = (victim_addr, victim)
             if self.eviction_hook is not None:
                 self.eviction_hook(victim_addr, victim)
 
         ways[tag] = CacheLine(
-            tag=tag, token=token, hpc=hpc, owner=owner, last_use=self._clock
+            tag=tag, token=token, hpc=hpc, owner=owner, last_use=clock
         )
         return evicted
 

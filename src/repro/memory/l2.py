@@ -48,12 +48,26 @@ class L2Cache:
 
     def read(self, line_addr: int, cycle: int) -> int:
         """Read one line; returns the cycle the data is back at the SM."""
-        start = self._occupy_port(cycle)
+        return self.read_demand(line_addr, cycle)[0]
+
+    def read_demand(self, line_addr: int, cycle: int) -> tuple[int, bool]:
+        """Read one line; returns ``(ready_cycle, was_hit)``.
+
+        The combined form lets the memory subsystem account off-chip
+        traffic without a separate tag probe in front of the read.
+        Port occupancy is inlined (one call per L1 miss).
+        """
+        start = self._port_free
+        if cycle > start:
+            start = float(cycle)
+        self._port_free = start + self.service_cycles
+        self.queue_delay_sum += start - cycle
+        self.accesses += 1
         if self.cache.lookup(line_addr) is not None:
-            return int(start + self.latency)
+            return int(start + self.latency), True
         ready = self.dram.access(int(start + self.latency), line_addr=line_addr)
         self.cache.fill(line_addr, token=line_addr)
-        return ready
+        return ready, False
 
     def write(self, line_addr: int, cycle: int) -> int:
         """Write one line through to DRAM; returns completion cycle."""

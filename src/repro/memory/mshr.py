@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 
-@dataclass
+@dataclass(slots=True)
 class MSHRFile:
     """Fixed-capacity merge table for outstanding misses."""
 

@@ -95,8 +95,7 @@ class MemorySubsystem:
         """Demand read after an L1 (and victim cache) miss."""
         if self.noc is not None:
             cycle = self.noc.traverse(sm_id, cycle)
-        l2_hit = self.l2.cache.probe(line_addr) is not None
-        ready = self.l2.read(line_addr, cycle)
+        ready, l2_hit = self.l2.read_demand(line_addr, cycle)
         if not l2_hit:
             self.traffic.demand_read_lines += 1
         return ready

@@ -1,83 +1,49 @@
 """Portable snapshots of simulation results.
 
-A live :class:`~repro.gpu.gpu.SimulationResult` drags the entire
-simulation graph behind it: each SM holds its memory subsystem, the
-kernel trace, and a ``cta_source`` closure, none of which can cross a
-process boundary or be written to the persistent result cache. The
-analysis layer, however, only ever touches a narrow slice of that
-graph. These snapshot classes capture exactly that slice — the
-self-contained stat objects (``SMStats``, ``TrafficStats``, cache and
-register-file stats, ``LinebackerStats``, the ``LoadMonitor``,
-``VictimTagTable`` and ``LoadTracker``, which hold no SM references)
-plus a few scalars — so a "portable" result pickles in kilobytes and
-behaves identically for every figure runner, test, and the energy
-model.
+A live :class:`~repro.gpu.gpu.SimulationResult` built with
+``keep_objects=True`` drags the entire simulation graph behind it:
+each SM holds its memory subsystem, the kernel trace, and a
+``cta_source`` closure, none of which can cross a process boundary or
+be written to the persistent result cache. The analysis layer,
+however, only ever touches a narrow slice of that graph. The snapshot
+classes (now defined in :mod:`repro.gpu.snapshot`, re-exported here)
+capture exactly that slice — the self-contained stat objects
+(``SMStats``, ``TrafficStats``, cache and register-file stats,
+``LinebackerStats``, the ``LoadMonitor``, ``VictimTagTable`` and
+``LoadTracker``, which hold no SM references) plus a few scalars — so
+a "portable" result pickles in kilobytes and behaves identically for
+every figure runner, test, and the energy model.
+
+Since ``run_kernel`` snapshots by default, :func:`portable` is usually
+a pass-through; it still guarantees portability for results produced
+with ``keep_objects=True`` (e.g. by driving :class:`~repro.gpu.gpu.GPU`
+directly).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Optional
+from dataclasses import replace
 
 from repro.baselines.swl import BestSWLResult
 from repro.gpu.gpu import SimulationResult
+from repro.gpu.snapshot import (
+    ExtensionSnapshot,
+    L1Snapshot,
+    SMSnapshot,
+    snapshot_extension,
+    snapshot_sm,
+)
 
-
-@dataclass
-class L1Snapshot:
-    """The L1 attributes the analysis layer reads off ``sm.l1``."""
-
-    num_sets: int
-    size_bytes: int
-    assoc: int
-
-
-@dataclass
-class SMSnapshot:
-    """Stand-in for a live SM inside a portable result."""
-
-    sm_id: int
-    done: bool
-    l1: L1Snapshot
-    load_tracker: Optional[object] = None  # a self-contained LoadTracker
-
-
-@dataclass
-class ExtensionSnapshot:
-    """Stand-in for a live SM extension inside a portable result.
-
-    Carries the extension's self-contained stat structures under their
-    original attribute names, so ``ext.stats``, ``ext.load_monitor``
-    and ``ext.vtt`` keep working for Figures 9/10/17 and the energy
-    model's ``getattr`` probes.
-    """
-
-    kind: str
-    stats: Optional[object] = None  # LinebackerStats (or None for baseline)
-    load_monitor: Optional[object] = None  # LoadMonitor
-    vtt: Optional[object] = None  # VictimTagTable (tags only, no data)
-
-
-def snapshot_extension(ext) -> ExtensionSnapshot:
-    return ExtensionSnapshot(
-        kind=type(ext).__name__,
-        stats=getattr(ext, "stats", None),
-        load_monitor=getattr(ext, "load_monitor", None),
-        vtt=getattr(ext, "vtt", None),
-    )
-
-
-def snapshot_sm(sm) -> SMSnapshot:
-    return SMSnapshot(
-        sm_id=sm.sm_id,
-        done=sm.done,
-        l1=L1Snapshot(
-            num_sets=sm.l1.num_sets,
-            size_bytes=sm.l1.num_sets * sm.l1.assoc * sm.l1.line_bytes,
-            assoc=sm.l1.assoc,
-        ),
-        load_tracker=sm.load_tracker,
-    )
+__all__ = [
+    "ExtensionSnapshot",
+    "L1Snapshot",
+    "SMSnapshot",
+    "snapshot_extension",
+    "snapshot_sm",
+    "portable_result",
+    "portable_best_swl",
+    "portable",
+]
 
 
 def portable_result(result: SimulationResult) -> SimulationResult:

@@ -25,7 +25,7 @@ import enum
 from dataclasses import dataclass
 from typing import Iterator
 
-from repro.gpu.isa import Instruction, alu, exit_inst, load, store
+from repro.gpu.isa import Instruction, Op, alu, exit_inst, hashed_pc, store
 from repro.gpu.trace import KernelTrace
 
 
@@ -120,53 +120,93 @@ def _warp_stream(spec: AppSpec, cta_id: int, warp: int) -> Iterator[Instruction]
     global_warp = cta_id * warps_per_cta + warp
     alu_ops = spec.alu_per_iteration
 
-    # Pre-compute per-load bases.
-    bases = []
+    # Pre-compute a flat per-load plan (base address, hashed PC,
+    # pattern-specific offsets) so the emission loop reads locals and
+    # tuple slots instead of dataclass attributes per access. The
+    # XOR fold, scope phase and stream base are all per-static-load
+    # constants for a given warp.
+    stream_p = Pattern.STREAM
+    divergent_p = Pattern.DIVERGENT
+    plan = []
     for idx, ld in enumerate(spec.loads):
         base = spec.region_base(idx)
         if ld.scope is Scope.CTA:
             base += cta_id * ld.working_set_lines
         elif ld.scope is Scope.WARP:
             base += global_warp * ld.working_set_lines
-        bases.append(base)
+        ws = max(1, ld.working_set_lines)
+        pattern = ld.pattern
+        if pattern is stream_p:
+            # Unique line per dynamic access across the grid: the warp's
+            # stream region starts at a per-warp offset, advanced by the
+            # running counter (plan slot "extra" = region start).
+            extra = base + global_warp * spec.iterations * ld.weight
+        elif pattern is divergent_p:
+            extra = 0
+        else:  # REUSE: per-warp phase shift within the working set
+            phase_warp = global_warp if ld.scope is Scope.GLOBAL else warp
+            extra = phase_warp * (ws // max(1, warps_per_cta))
+        plan.append(
+            (
+                pattern,
+                ld.pc,
+                hashed_pc(ld.pc),
+                ld.weight,
+                ld.lines_per_access,
+                ws,
+                ld.stride,
+                max(1, ld.reuse_burst),
+                base,
+                extra,
+                idx,
+            )
+        )
+    op_load = Op.LOAD
+    # One interned ALU instruction emitted alu_per_iteration times per
+    # loop body: a pre-built block avoids the memo probe per emission.
+    alu_block = (alu(pc=0x10),) * alu_ops
     stream_counters = [0] * len(spec.loads)
     store_base = (len(spec.loads) + 2) << 22
 
     for t in range(spec.iterations):
-        for _ in range(alu_ops):
-            yield alu(pc=0x10)
-        for idx, ld in enumerate(spec.loads):
-            base = bases[idx]
-            ws = max(1, ld.working_set_lines)
-            for rep in range(ld.weight):
-                if ld.pattern is Pattern.STREAM:
-                    # Unique line per dynamic access across the grid.
+        yield from alu_block
+        for pattern, pc, hpc, weight, lpa, ws, stride, burst, base, extra, idx in plan:
+            for rep in range(weight):
+                if pattern is stream_p:
                     seq = stream_counters[idx]
-                    stream_counters[idx] += 1
-                    first = base + (global_warp * spec.iterations * ld.weight + seq)
-                    lines = tuple(first * 1 + j for j in range(ld.lines_per_access))
-                elif ld.pattern is Pattern.DIVERGENT:
+                    stream_counters[idx] = seq + 1
+                    first = extra + seq
+                    if lpa == 1:
+                        lines = (first,)
+                    else:
+                        lines = tuple(first + j for j in range(lpa))
+                elif pattern is divergent_p:
                     # Hash the *global* warp id: warp k of different
                     # CTAs must not generate identical streams
                     # (lockstep duplicates would merge in the MSHRs
                     # and never produce a hit).
-                    lines = tuple(
-                        base + (_scramble(t * ld.stride + rep, global_warp, j) % ws)
-                        for j in range(ld.lines_per_access)
-                    )
+                    if lpa == 1:
+                        lines = (
+                            base + _scramble(t * stride + rep, global_warp, 0) % ws,
+                        )
+                    else:
+                        lines = tuple(
+                            base + (_scramble(t * stride + rep, global_warp, j) % ws)
+                            for j in range(lpa)
+                        )
                 else:  # REUSE
-                    step = t // max(1, ld.reuse_burst)
-                    phase_warp = global_warp if ld.scope is Scope.GLOBAL else warp
-                    offset = (
-                        step * ld.stride
-                        + rep
-                        + phase_warp * (ws // max(1, warps_per_cta))
-                    ) % ws
-                    lines = tuple(
-                        base + ((offset + j * 17) % ws)
-                        for j in range(ld.lines_per_access)
-                    )
-                yield load(pc=ld.pc, line_addrs=lines)
+                    offset = ((t // burst) * stride + rep + extra) % ws
+                    if lpa == 1:
+                        lines = (base + offset,)
+                    else:
+                        lines = tuple(
+                            base + ((offset + j * 17) % ws) for j in range(lpa)
+                        )
+                # Direct construction (not the load() wrapper): the
+                # emission loop is the hot path of trace generation.
+                yield Instruction(
+                    op=op_load, pc=pc, line_addrs=lines, operands=2, hpc=hpc
+                )
         for st in spec.stores:
             if st.every_iterations > 0 and t % st.every_iterations == 0:
                 addr = store_base + global_warp * spec.iterations + t

@@ -29,13 +29,13 @@ def thrashing_kernel(ws=1024, ctas=8, warps=8, iters=100):
 class TestLostLocalityDetection:
     def test_own_reference_scores(self):
         cfg = config()
-        result = run_ccws(cfg, thrashing_kernel())
+        result = run_ccws(cfg, thrashing_kernel(), keep_objects=True)
         ext = result.extensions[0]
         assert ext.lost_locality_events > 0
 
     def test_scores_decay(self):
         cfg = config()
-        result = run_ccws(cfg, thrashing_kernel(iters=40))
+        result = run_ccws(cfg, thrashing_kernel(iters=40), keep_objects=True)
         ext = result.extensions[0]
         # By the drain, decay has collapsed most scores.
         assert sum(ext.scores.values()) < ext.lost_locality_events * LOST_LOCALITY_SCORE
@@ -44,7 +44,7 @@ class TestLostLocalityDetection:
 class TestThrottling:
     def test_blocks_warps_under_thrash(self):
         cfg = config()
-        result = run_ccws(cfg, thrashing_kernel())
+        result = run_ccws(cfg, thrashing_kernel(), keep_objects=True)
         ext = result.extensions[0]
         assert ext.max_blocked > 0
 
@@ -57,13 +57,13 @@ class TestThrottling:
 
     def test_no_warps_left_blocked_at_end(self):
         cfg = config()
-        result = run_ccws(cfg, thrashing_kernel())
+        result = run_ccws(cfg, thrashing_kernel(), keep_objects=True)
         ext = result.extensions[0]
         assert not ext._blocked
 
     def test_cache_friendly_kernel_barely_throttled(self):
         cfg = config()
-        result = run_ccws(cfg, thrashing_kernel(ws=64))
+        result = run_ccws(cfg, thrashing_kernel(ws=64), keep_objects=True)
         ext = result.extensions[0]
         # Working set fits the L1: few lost-locality events, little
         # blocking pressure.

@@ -26,7 +26,7 @@ class TestMSHRExhaustion:
         config = cfg(l1_mshrs=2)
         per_warp = [[[load(0x100, [w * 50 + i]) for i in range(20)] for w in range(4)]]
         kernel = from_instruction_lists("mshr", per_warp, regs_per_thread=8)
-        result = run_kernel(config, kernel)
+        result = run_kernel(config, kernel, keep_objects=True)
         assert result.instructions == 4 * 21
         assert result.sms[0].mshr.stalls > 0
 

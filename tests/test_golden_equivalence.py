@@ -1,0 +1,65 @@
+"""Golden equivalence: the hot-path engine work must be invisible.
+
+Every optimization in the cycle engine (int event kinds, the fused
+issue/hint scan, inlined L1/MSHR fast paths, the lazy-deletion clock
+heap, dict-ordered LRU) claims to be *semantically neutral*. This test
+holds that claim to a bit-identical standard: the full statistics
+fingerprint of a small (app, architecture) matrix — one cache-
+sensitive app and one insensitive app under the baseline, the Best-SWL
+oracle and Linebacker — must match the values pinned in
+``golden_stats.json``.
+
+If this test fails after an engine change, the change altered
+simulation semantics. Either fix the change, or — only for an
+*intentional* model change — regenerate the file with::
+
+    PYTHONPATH=src python tests/golden.py --write
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+from golden import (  # noqa: E402
+    GOLDEN_APPS,
+    GOLDEN_ARCHS,
+    GOLDEN_PATH,
+    fingerprint,
+)
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    assert GOLDEN_PATH.exists(), (
+        "golden_stats.json missing; generate it with "
+        "`PYTHONPATH=src python tests/golden.py --write`"
+    )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("arch", GOLDEN_ARCHS)
+@pytest.mark.parametrize("app", GOLDEN_APPS)
+def test_statistics_bit_identical(golden, app: str, arch: str) -> None:
+    key = f"{arch}:{app}"
+    assert key in golden, f"{key} not pinned; regenerate the golden file"
+    current = fingerprint(app, arch)
+    expected = golden[key]
+    mismatches = {
+        stat: (expected.get(stat), current.get(stat))
+        for stat in set(expected) | set(current)
+        if expected.get(stat) != current.get(stat)
+    }
+    assert not mismatches, (
+        f"{key}: engine change shifted simulation semantics "
+        f"(golden, current): {mismatches}"
+    )
+
+
+def test_golden_file_covers_matrix(golden) -> None:
+    expected_keys = {f"{arch}:{app}" for app in GOLDEN_APPS for arch in GOLDEN_ARCHS}
+    assert expected_keys <= set(golden)

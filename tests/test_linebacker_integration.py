@@ -57,7 +57,10 @@ def streaming_kernel(n_ctas=4, warps=4, iters=150):
 
 def run_lb(cfg, kernel, lb_config=None):
     result = run_kernel(
-        cfg, kernel, extension_factory=linebacker_factory(lb_config or cfg.linebacker)
+        cfg,
+        kernel,
+        extension_factory=linebacker_factory(lb_config or cfg.linebacker),
+        keep_objects=True,
     )
     return result, result.extensions[0]
 

@@ -56,7 +56,9 @@ def run():
         ),
     )
     cfg = scaled_config(num_sms=1, window_cycles=400)
-    result = run_kernel(cfg, build_kernel(spec), extension_factory=RecordingLinebacker)
+    result = run_kernel(
+        cfg, build_kernel(spec), extension_factory=RecordingLinebacker, keep_objects=True
+    )
     return result, result.extensions[0]
 
 
