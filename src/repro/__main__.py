@@ -7,6 +7,8 @@ Usage:
     python -m repro overhead
     python -m repro bench --reps 3 --output BENCH_sim.json
     python -m repro bench --check-against BENCH_sim.json
+    python -m repro lint --strict
+    python -m repro lint --json src/repro/gpu
     python -m repro cache info
     python -m repro cache clear
 
@@ -129,6 +131,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.30,
         help="fractional regression allowed against the baseline (default 0.30)",
     )
+
+    lint_p = sub.add_parser(
+        "lint",
+        add_help=False,
+        help="static invariant checker (see `python -m repro lint --help`)",
+    )
+    lint_p.add_argument("rest", nargs=argparse.REMAINDER)
 
     cache_p = sub.add_parser("cache", help="inspect or clear the result cache")
     cache_p.add_argument("action", choices=("info", "clear"))
@@ -275,10 +284,14 @@ def _cmd_run(args, parser: argparse.ArgumentParser) -> int:
 def main(argv: list[str] | None = None) -> int:
     argv = list(argv) if argv is not None else sys.argv[1:]
     # Historical alias: `python -m repro fig12 ...` == `run fig12 ...`.
-    if argv and argv[0] not in ("run", "list", "overhead", "bench", "cache") and not (
-        argv[0].startswith("-")
-    ):
+    known = ("run", "list", "overhead", "bench", "lint", "cache")
+    if argv and argv[0] not in known and not argv[0].startswith("-"):
         argv = ["run", *argv]
+    if argv and argv[0] == "lint":
+        # The lint CLI owns its own argument surface (including --help).
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
 

@@ -24,13 +24,13 @@ CTA-level throttler uses, which preserves the feedback loop.
 from __future__ import annotations
 
 from collections import defaultdict
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.config import LinebackerConfig, SimulationConfig
 from repro.gpu.extension import SMExtension
 from repro.gpu.gpu import SimulationResult, run_kernel
 from repro.gpu.trace import KernelTrace
-from repro.gpu.warp import WarpState
 from repro.memory.cache import SetAssociativeCache
 
 #: Score added when a warp re-references a line it lost (the paper's
@@ -110,15 +110,10 @@ class CCWSExtension(SMExtension):
 
     def on_cta_finished(self, slot: int, cycle: int) -> None:
         # Warps of the finished CTA disappear; drop their state.
-        gone = {w.warp_id for w in []}
-        self._blocked = {
-            wid for wid in self._blocked
-            if any(
-                w.warp_id == wid
-                for cta in self.sm.ctas.values()
-                for w in cta.warps
-            )
+        live = {
+            w.warp_id for cta in self.sm.ctas.values() for w in cta.warps
         }
+        self._blocked &= live
 
     def finalize(self, cycle: int) -> None:
         # Release any warps still blocked so nothing dangles.
@@ -129,11 +124,18 @@ class CCWSExtension(SMExtension):
         self._blocked.clear()
 
 
-def ccws_factory(config: Optional[LinebackerConfig] = None):
-    def build() -> CCWSExtension:
-        return CCWSExtension(config)
+@dataclass(frozen=True)
+class CCWSFactory:
+    """Picklable ExtensionFactory (constructible from a JobSpec)."""
 
-    return build
+    config: Optional[LinebackerConfig] = None
+
+    def __call__(self) -> CCWSExtension:
+        return CCWSExtension(self.config)
+
+
+def ccws_factory(config: Optional[LinebackerConfig] = None) -> CCWSFactory:
+    return CCWSFactory(config)
 
 
 def run_ccws(

@@ -1,0 +1,43 @@
+"""``repro.lint``: AST-based invariant checker for the simulator.
+
+A pure-static (no-import, no-execute) analysis framework with a pass
+registry, per-pass severity levels, inline ``# repro-lint:
+ignore[rule]`` suppressions, a committed baseline file and text/JSON
+reporters — exposed as ``python -m repro lint``.
+
+The bundled passes guard the invariants the reproduction's headline
+numbers rest on: bit-identical determinism, ``__slots__`` coverage on
+the cycle engine's hot classes, capability-flag consistency of the SM
+extension interface, pickle/cache safety of everything reachable from
+a :class:`~repro.runner.spec.JobSpec`, and parity between SMStats
+counters and the golden-statistics schema. See DESIGN.md section 5d.
+"""
+
+from repro.lint.baseline import load_baseline, write_baseline
+from repro.lint.cli import main, run_lint
+from repro.lint.finding import Finding, Severity
+from repro.lint.registry import PASSES, RULES, LintPass, Rule, all_passes, lint_pass
+from repro.lint.report import LintResult, render_json, render_text
+from repro.lint.source import Project, SourceFile, collect_files, load_source
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "LintPass",
+    "LintResult",
+    "Project",
+    "Rule",
+    "SourceFile",
+    "PASSES",
+    "RULES",
+    "all_passes",
+    "collect_files",
+    "lint_pass",
+    "load_baseline",
+    "load_source",
+    "main",
+    "render_json",
+    "render_text",
+    "run_lint",
+    "write_baseline",
+]

@@ -1,0 +1,64 @@
+"""Finding and severity types shared by every lint pass.
+
+A :class:`Finding` is one rule violation anchored to a file and line.
+Its :attr:`~Finding.fingerprint` deliberately excludes the line number
+— it hashes the rule, the file and the *text* of the flagged line —
+so baselined findings survive unrelated edits that shift code around.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:  # pragma: no cover - repr sugar
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule: str
+    message: str
+    path: str          # project-relative, '/'-separated
+    line: int          # 1-based; 0 = whole-file / cross-file finding
+    severity: Severity = Severity.ERROR
+    source_line: str = ""  # stripped text of the flagged line
+    pass_name: str = field(default="", compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baselining: rule + file + line *text*.
+
+        Line numbers are excluded on purpose: moving code must not
+        invalidate a committed baseline entry, while editing the
+        offending line (presumably fixing it) must.
+        """
+        basis = f"{self.rule}|{self.path}|{self.source_line}"
+        return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:16]
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}" if self.line else self.path
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "source_line": self.source_line,
+            "fingerprint": self.fingerprint,
+            "pass": self.pass_name,
+        }
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.rule, self.message)

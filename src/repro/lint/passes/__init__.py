@@ -1,0 +1,9 @@
+"""Bundled lint passes: importing this package registers them all."""
+
+from repro.lint.passes import (  # noqa: F401  (registration side effects)
+    capability,
+    determinism,
+    pickle_safety,
+    slots,
+    stats_parity,
+)

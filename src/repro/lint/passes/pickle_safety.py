@@ -1,0 +1,164 @@
+"""Pickle / cache safety for the parallel experiment runner.
+
+The runner ships :class:`~repro.runner.spec.JobSpec`\\ s to
+``ProcessPoolExecutor`` workers and content-hashes them into
+persistent cache keys. Both operations require that everything
+reachable from a spec — architecture runners registered into
+``ARCHITECTURES`` and the extension factories they build — is
+reconstructible *by name* at module level. Closures, lambdas and
+locally-defined classes break this in two escalating ways: pickling
+fails loudly in the pool, and (worse) content hashes of closure
+objects are not stable across processes, which would poison the
+persistent cache silently.
+
+Rules:
+
+* ``factory-closure`` — a ``*_factory`` function (the repo's
+  ``ExtensionFactory`` convention) returns a function defined inside
+  itself. Use a frozen dataclass with ``__call__`` (see
+  ``LinebackerFactory``).
+* ``factory-lambda`` — a lambda returned from a factory or passed as
+  an ``extension_factory=`` / ``runner=`` argument.
+* ``factory-local-class`` — a factory returns an instance of a class
+  defined inside the factory body.
+* ``registry-local-runner`` — an ``ARCHITECTURES`` registration
+  (``@register(...)`` or ``ARCHITECTURES[...] =``) executed inside a
+  function: the runner would not exist in a fresh worker process.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.finding import Finding, Severity
+from repro.lint.registry import Rule, lint_pass, make_finding
+from repro.lint.source import Project, SourceFile
+
+PASS_NAME = "pickle-safety"
+
+FACTORY_SUFFIX = "_factory"
+FACTORY_KWARGS = {"extension_factory", "runner", "cta_source"}
+
+
+def _local_defs(fn: ast.FunctionDef) -> tuple[set[str], set[str]]:
+    """Names of functions and classes defined inside ``fn``'s body."""
+    funcs: set[str] = set()
+    classes: set[str] = set()
+    for node in ast.walk(fn):
+        if node is fn:
+            continue
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            funcs.add(node.name)
+        elif isinstance(node, ast.ClassDef):
+            classes.add(node.name)
+    return funcs, classes
+
+
+def _check_factory(src: SourceFile, fn: ast.FunctionDef) -> Iterable[Finding]:
+    local_funcs, local_classes = _local_defs(fn)
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Return) or node.value is None:
+            continue
+        value = node.value
+        if isinstance(value, ast.Lambda):
+            yield make_finding(
+                "factory-lambda",
+                f"{fn.name} returns a lambda; lambdas cannot be pickled "
+                "into worker processes or content-hashed stably",
+                src, value.lineno, PASS_NAME,
+            )
+        elif isinstance(value, ast.Name) and value.id in local_funcs:
+            yield make_finding(
+                "factory-closure",
+                f"{fn.name} returns the locally-defined function "
+                f"{value.id!r}; a closure cannot cross the process "
+                "boundary — use a frozen dataclass with __call__",
+                src, value.lineno, PASS_NAME,
+            )
+        elif (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in local_classes
+        ):
+            yield make_finding(
+                "factory-local-class",
+                f"{fn.name} returns an instance of the locally-defined "
+                f"class {value.func.id!r}; define it at module level so "
+                "workers can reconstruct it",
+                src, value.lineno, PASS_NAME,
+            )
+
+
+def _check_file(src: SourceFile) -> Iterable[Finding]:
+    # Factories by naming convention, anywhere in the file.
+    for node in ast.walk(src.tree):
+        if isinstance(node, ast.FunctionDef) and node.name.endswith(FACTORY_SUFFIX):
+            yield from _check_factory(src, node)
+
+    # Lambdas handed to factory-consuming keywords.
+    for node in ast.walk(src.tree):
+        if isinstance(node, ast.Call):
+            for kw in node.keywords:
+                if kw.arg in FACTORY_KWARGS and isinstance(kw.value, ast.Lambda):
+                    yield make_finding(
+                        "factory-lambda",
+                        f"lambda passed as {kw.arg}=; it cannot be "
+                        "pickled for the process pool",
+                        src, kw.value.lineno, PASS_NAME,
+                    )
+
+    # Registry mutations inside function bodies.
+    for fn in ast.walk(src.tree):
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for node in ast.walk(fn):
+            is_decorator_register = (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node is not fn
+                and any(
+                    isinstance(d, ast.Call)
+                    and isinstance(d.func, ast.Name)
+                    and d.func.id == "register"
+                    for d in node.decorator_list
+                )
+            )
+            is_subscript_register = (
+                isinstance(node, ast.Assign)
+                and any(
+                    isinstance(t, ast.Subscript)
+                    and isinstance(t.value, ast.Name)
+                    and t.value.id == "ARCHITECTURES"
+                    for t in node.targets
+                )
+            )
+            if is_decorator_register or is_subscript_register:
+                yield make_finding(
+                    "registry-local-runner",
+                    f"architecture registered inside {fn.name}(); a fresh "
+                    "worker process imports modules, not call stacks — "
+                    "register at module level",
+                    src, node.lineno, PASS_NAME,
+                )
+
+
+RULES = (
+    Rule("factory-closure", Severity.ERROR,
+         "extension factory returns a closure"),
+    Rule("factory-lambda", Severity.ERROR,
+         "lambda used where a picklable factory is required"),
+    Rule("factory-local-class", Severity.ERROR,
+         "factory returns an instance of a locally-defined class"),
+    Rule("registry-local-runner", Severity.ERROR,
+         "ARCHITECTURES registration inside a function body"),
+)
+
+
+@lint_pass(
+    PASS_NAME,
+    RULES,
+    "keeps everything reachable from a JobSpec picklable and hashable",
+)
+def run(project: Project) -> Iterable[Finding]:
+    for src in project.files:
+        yield from _check_file(src)

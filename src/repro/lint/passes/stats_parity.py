@@ -1,0 +1,80 @@
+"""Stats / snapshot schema parity.
+
+The golden-equivalence gate (``tests/golden_stats.json``) is only as
+strong as the fingerprint it pins. A counter added to
+:class:`repro.gpu.stats.SMStats` but never folded into
+``tests/golden.py``'s ``result_fingerprint`` escapes the gate
+entirely: an engine change could corrupt it and every test would stay
+green. This pass closes the loop statically:
+
+* ``stats-parity`` — every counter field declared on ``SMStats`` must
+  be *read* inside ``result_fingerprint`` (as ``s.<counter>``,
+  ``result.<counter>`` or any attribute access of that name).
+
+Derived ``@property`` accessors on ``SMStats`` are not counters and
+are exempt. When the project contains no ``SMStats`` class or no
+``result_fingerprint`` function (e.g. linting a file subset), the
+pass has nothing to check and stays silent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.finding import Finding, Severity
+from repro.lint.registry import Rule, lint_pass, make_finding
+from repro.lint.source import Project
+
+PASS_NAME = "stats-parity"
+
+STATS_CLASS = "SMStats"
+FINGERPRINT_FN = "result_fingerprint"
+
+
+def _counter_fields(node: ast.ClassDef) -> dict[str, int]:
+    """Dataclass counter fields -> line (annotated, non-property)."""
+    fields: dict[str, int] = {}
+    for stmt in node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            if not stmt.target.id.startswith("_"):
+                fields[stmt.target.id] = stmt.lineno
+    return fields
+
+
+def _attribute_reads(fn: ast.FunctionDef) -> set[str]:
+    return {
+        node.attr
+        for node in ast.walk(fn)
+        if isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load)
+    }
+
+
+RULES = (
+    Rule("stats-parity", Severity.ERROR,
+         "SMStats counter missing from the golden fingerprint schema"),
+)
+
+
+@lint_pass(
+    PASS_NAME,
+    RULES,
+    "every SMStats counter must be pinned by the golden fingerprint",
+)
+def run(project: Project) -> Iterable[Finding]:
+    stats_entry = project.find_class(STATS_CLASS)
+    fp_entry = project.find_function(FINGERPRINT_FN)
+    if stats_entry is None or fp_entry is None:
+        return
+    stats_src, stats_node = stats_entry
+    _fp_src, fp_node = fp_entry
+    reads = _attribute_reads(fp_node)
+    for field, line in sorted(_counter_fields(stats_node).items()):
+        if field not in reads:
+            yield make_finding(
+                "stats-parity",
+                f"{STATS_CLASS}.{field} is a counter but "
+                f"{FINGERPRINT_FN} never reads it: the golden "
+                "equivalence gate cannot see regressions in it",
+                stats_src, line, PASS_NAME,
+            )

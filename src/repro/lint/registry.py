@@ -1,0 +1,93 @@
+"""Pass and rule registry.
+
+A lint pass is a module-level function ``run(project) -> iterable of
+Finding`` registered with :func:`lint_pass`, which also declares the
+rules the pass can emit (with their default severities). Keeping the
+rule table central means the CLI can list every rule, reporters can
+validate rule names in ``ignore[...]`` comments, and a pass cannot
+emit a rule it never declared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.lint.finding import Finding, Severity
+from repro.lint.source import Project
+
+PassFn = Callable[[Project], Iterable[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One diagnostic a pass can raise."""
+
+    name: str
+    severity: Severity
+    summary: str
+
+
+@dataclass(frozen=True)
+class LintPass:
+    """One registered analysis pass."""
+
+    name: str
+    run: PassFn
+    rules: tuple[Rule, ...]
+    description: str = ""
+
+
+#: pass name -> LintPass, in registration order.
+PASSES: dict[str, LintPass] = {}
+#: rule name -> Rule (flat view across passes).
+RULES: dict[str, Rule] = {}
+
+
+def lint_pass(name: str, rules: Iterable[Rule], description: str = ""):
+    """Register ``fn`` as lint pass ``name`` emitting ``rules``."""
+
+    rules = tuple(rules)
+
+    def wrap(fn: PassFn) -> PassFn:
+        if name in PASSES:
+            raise ValueError(f"duplicate lint pass {name!r}")
+        PASSES[name] = LintPass(name=name, run=fn, rules=rules, description=description)
+        for rule in rules:
+            if rule.name in RULES:
+                raise ValueError(f"duplicate lint rule {rule.name!r}")
+            RULES[rule.name] = rule
+        return fn
+
+    return wrap
+
+
+def make_finding(
+    rule: str,
+    message: str,
+    src,
+    line: int,
+    pass_name: str = "",
+) -> Finding:
+    """Build a Finding for ``rule`` anchored at ``src:line``.
+
+    Severity comes from the rule table; the flagged line's text is
+    captured for the baseline fingerprint.
+    """
+    spec = RULES[rule]
+    return Finding(
+        rule=rule,
+        message=message,
+        path=src.relpath,
+        line=line,
+        severity=spec.severity,
+        source_line=src.line_text(line),
+        pass_name=pass_name,
+    )
+
+
+def all_passes() -> list[LintPass]:
+    """Every registered pass (importing the bundled ones on demand)."""
+    import repro.lint.passes  # noqa: F401  (registration side effect)
+
+    return list(PASSES.values())

@@ -27,7 +27,7 @@ import os
 import time
 import warnings
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Optional, Sequence
+from typing import Any, Optional, Sequence
 
 from repro.runner.cache import MISS, ResultCache
 from repro.runner.registry import resolve

@@ -54,7 +54,9 @@ def register(name: str, description: str = "", returns: str = "result"):
     """Register a module-level run function as architecture ``name``."""
 
     def wrap(fn: Callable) -> Callable:
-        ARCHITECTURES[name] = ArchSpec(
+        # This *is* the module-level registration mechanism; the
+        # decorator runs at import time, so workers re-register too.
+        ARCHITECTURES[name] = ArchSpec(  # repro-lint: ignore[registry-local-runner]
             name=name, runner=fn, description=description, returns=returns
         )
         return fn

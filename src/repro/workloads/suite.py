@@ -42,7 +42,9 @@ _PC0, _PC1, _PC2, _PC3 = 0x100, 0x204, 0x308, 0x40C
 _STORE_PC = 0x510
 
 
-def _reuse(pc: int, ws: int, scope: Scope = Scope.CTA, stride: int = 1, weight: int = 1) -> LoadSpec:
+def _reuse(
+    pc: int, ws: int, scope: Scope = Scope.CTA, stride: int = 1, weight: int = 1
+) -> LoadSpec:
     return LoadSpec(pc=pc, pattern=Pattern.REUSE, working_set_lines=ws, scope=scope,
                     stride=stride, weight=weight)
 

@@ -1,0 +1,32 @@
+"""Seeded violations for the pickle-safety pass: every way a factory
+or registration can fail to cross the process boundary."""
+
+ARCHITECTURES = {}
+
+
+def demo_factory(depth=4):
+    def build():
+        return depth
+
+    return build  # factory-closure
+
+
+def anon_factory():
+    return lambda: None  # factory-lambda
+
+
+def boxed_factory():
+    class Ext:
+        pass
+
+    return Ext()  # factory-local-class
+
+
+def register_late():
+    ARCHITECTURES["late"] = demo_factory  # registry-local-runner
+
+
+def launch(run_kernel, config, kernel):
+    return run_kernel(
+        config, kernel, extension_factory=lambda: None  # factory-lambda
+    )

@@ -1,0 +1,31 @@
+"""Twin of ``case_pickle_bad.py`` using the repo's picklable idioms:
+a frozen dataclass with ``__call__`` and module-level registration."""
+
+from dataclasses import dataclass
+
+
+class DemoExtension:
+    __slots__ = ("depth",)
+
+    def __init__(self, depth):
+        self.depth = depth
+
+
+@dataclass(frozen=True)
+class DemoFactory:
+    depth: int = 4
+
+    def __call__(self):
+        return DemoExtension(self.depth)
+
+
+def demo_factory(depth=4):
+    return DemoFactory(depth)
+
+
+def launch(run_kernel, config, kernel):
+    return run_kernel(config, kernel, extension_factory=DemoFactory())
+
+
+ARCHITECTURES = {"demo": demo_factory}
+ARCHITECTURES["demo_deep"] = DemoFactory(depth=8)

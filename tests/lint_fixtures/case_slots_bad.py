@@ -1,0 +1,27 @@
+"""Seeded violations for the slots pass.
+
+``Warp`` is on the engine's hot list but lost its ``__slots__``;
+``WindowMonitor`` declares slots but a rarely-taken method introduces
+an attribute outside them (AttributeError on first execution).
+"""
+
+
+class Warp:  # hot-class-no-slots: per-instruction allocation
+    def __init__(self, warp_id):
+        self.warp_id = warp_id
+        self.active = True
+
+
+class WindowMonitor:
+    __slots__ = ("window", "count")
+
+    def __init__(self, window):
+        self.window = window
+        self.count = 0
+
+    def record(self, n):
+        self.count += n
+
+    def snapshot(self):
+        self.last_snapshot = self.count  # slots-attr-missing
+        return self.count

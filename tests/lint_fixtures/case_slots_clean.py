@@ -1,0 +1,25 @@
+"""Twin of ``case_slots_bad.py`` with complete slot declarations."""
+
+
+class Warp:
+    __slots__ = ("warp_id", "active")
+
+    def __init__(self, warp_id):
+        self.warp_id = warp_id
+        self.active = True
+
+
+class WindowMonitor:
+    __slots__ = ("window", "count", "last_snapshot")
+
+    def __init__(self, window):
+        self.window = window
+        self.count = 0
+        self.last_snapshot = 0
+
+    def record(self, n):
+        self.count += n
+
+    def snapshot(self):
+        self.last_snapshot = self.count
+        return self.count

@@ -1,0 +1,22 @@
+"""Seeded violation for the stats-parity pass: ``phantom_events`` is
+a counter the golden fingerprint never reads, so the equivalence gate
+would miss regressions in it."""
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class SMStats:
+    instructions: int = 0
+    loads: int = 0
+    victim_hits: int = 0
+    phantom_events: int = 0  # stats-parity: escapes the golden gate
+
+
+def result_fingerprint(result):
+    stats = result.stats
+    return {
+        "instructions": stats.instructions,
+        "loads": stats.loads,
+        "victim_hits": stats.victim_hits,
+    }

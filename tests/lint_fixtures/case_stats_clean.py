@@ -1,0 +1,22 @@
+"""Twin of ``case_stats_bad.py``: every counter is pinned by the
+fingerprint. Must lint clean."""
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class SMStats:
+    instructions: int = 0
+    loads: int = 0
+    victim_hits: int = 0
+    phantom_events: int = 0
+
+
+def result_fingerprint(result):
+    stats = result.stats
+    return {
+        "instructions": stats.instructions,
+        "loads": stats.loads,
+        "victim_hits": stats.victim_hits,
+        "phantom_events": stats.phantom_events,
+    }

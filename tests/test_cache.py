@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.memory.cache import CacheLine, SetAssociativeCache
+from repro.memory.cache import SetAssociativeCache
 
 
 def make_cache(size=8 * 1024, assoc=4, line=128, hook=None):

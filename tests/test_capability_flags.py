@@ -1,0 +1,182 @@
+"""End-to-end coverage for ``SMExtension.attach`` capability-flag
+auto-resolution — the runtime contract the ``capability`` lint pass
+re-derives statically.
+
+For every architecture extension the repo ships, a tiny kernel is run
+with ``keep_objects=True`` and the *resolved* flags on the live
+extension are checked against the expected table, together with the
+``SM._ext_*`` gates mirrored from them. Includes Linebacker's pinned
+case (``enable_victim_cache=False``): the hooks stay overridden but
+the flags — and therefore the SM gates — must read False.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.baselines.cache_ext import config_with_cache_ext
+from repro.baselines.ccws import ccws_factory
+from repro.baselines.cerf import cerf_factory
+from repro.baselines.pcal import pcal_factory
+from repro.config import scaled_config
+from repro.core.linebacker import linebacker_factory
+from repro.gpu.extension import SMExtension
+from repro.gpu.gpu import run_kernel
+from repro.workloads.generator import AppSpec, LoadSpec, Pattern, Scope, build_kernel
+
+#: flag -> the hook it gates (the contract the SM hot path relies on).
+FLAG_HOOKS = {
+    "wants_ticks": "on_tick",
+    "wants_load_outcomes": "on_load_outcome",
+    "has_victim_cache": "lookup_victim",
+    "may_bypass": "should_bypass",
+    "wants_store_events": "on_store",
+    "controls_fill": "allocate_fill",
+    "wants_evictions": "on_l1_eviction",
+}
+
+
+def tiny_kernel():
+    spec = AppSpec(
+        name="cap", description="capability probe", cache_sensitive=True,
+        num_ctas=2, warps_per_cta=2, regs_per_thread=16,
+        iterations=4, alu_per_iteration=1,
+        loads=(LoadSpec(0x100, Pattern.REUSE, 64, Scope.GLOBAL),),
+    )
+    return build_kernel(spec)
+
+
+def flags_of(ext) -> dict[str, bool]:
+    return {flag: getattr(ext, flag) for flag in FLAG_HOOKS}
+
+
+#: arch -> (extension factory from a LinebackerConfig, expected flags).
+CASES = {
+    "linebacker": (
+        lambda cfg: linebacker_factory(cfg),
+        {
+            "wants_ticks": True,
+            "wants_load_outcomes": True,
+            "has_victim_cache": True,
+            "may_bypass": False,
+            "wants_store_events": True,
+            "controls_fill": False,
+            "wants_evictions": True,
+        },
+    ),
+    "linebacker_pinned": (
+        lambda cfg: linebacker_factory(replace(cfg, enable_victim_cache=False)),
+        {
+            "wants_ticks": True,
+            "wants_load_outcomes": True,
+            "has_victim_cache": False,   # pinned despite overridden hook
+            "may_bypass": False,
+            "wants_store_events": False,  # pinned alongside it
+            "controls_fill": False,
+            "wants_evictions": True,
+        },
+    ),
+    "pcal": (
+        lambda cfg: pcal_factory(cfg),
+        {
+            "wants_ticks": True,
+            "wants_load_outcomes": True,
+            "has_victim_cache": False,   # PCAL config pins the cache off
+            "may_bypass": True,          # the one bypassing architecture
+            "wants_store_events": False,
+            "controls_fill": False,
+            "wants_evictions": True,
+        },
+    ),
+    "cerf": (
+        lambda cfg: cerf_factory(cfg),
+        {
+            "wants_ticks": True,
+            "wants_load_outcomes": True,
+            "has_victim_cache": True,
+            "may_bypass": False,
+            "wants_store_events": True,
+            "controls_fill": False,
+            "wants_evictions": True,
+        },
+    ),
+    "ccws": (
+        lambda cfg: ccws_factory(cfg),
+        {
+            "wants_ticks": True,
+            "wants_load_outcomes": True,
+            "has_victim_cache": False,
+            "may_bypass": False,
+            "wants_store_events": False,
+            "controls_fill": False,
+            "wants_evictions": True,
+        },
+    ),
+}
+
+
+def run_with(factory):
+    cfg = scaled_config(num_sms=1)
+    ext_factory = factory(cfg.linebacker) if factory else None
+    return run_kernel(
+        cfg, tiny_kernel(), extension_factory=ext_factory, keep_objects=True
+    )
+
+
+@pytest.mark.parametrize("arch", sorted(CASES))
+def test_attach_resolves_the_expected_flags(arch):
+    factory, expected = CASES[arch]
+    result = run_with(factory)
+    assert flags_of(result.extensions[0]) == expected
+
+
+@pytest.mark.parametrize("arch", sorted(CASES))
+def test_sm_gates_mirror_the_resolved_flags(arch):
+    factory, expected = CASES[arch]
+    result = run_with(factory)
+    sm = result.sms[0]
+    gates = {flag: getattr(sm, f"_ext_{flag}") for flag in FLAG_HOOKS}
+    assert gates == expected
+    assert sm._ext_inert is (not any(expected.values()))
+
+
+@pytest.mark.parametrize("arch", sorted(CASES))
+def test_unpinned_flags_match_hook_overrides(arch):
+    """Where a flag is *not* pinned by configuration, auto-resolution
+    must equal "is the hook overridden somewhere below SMExtension"."""
+    factory, expected = CASES[arch]
+    result = run_with(factory)
+    ext = result.extensions[0]
+    for flag, hook in FLAG_HOOKS.items():
+        overridden = getattr(type(ext), hook) is not getattr(SMExtension, hook)
+        if expected[flag]:
+            # A True flag always implies a real override to dispatch to.
+            assert overridden, (arch, flag, hook)
+
+
+def test_cache_ext_runs_an_inert_base_extension():
+    """cache_ext has no extension of its own: the SM must carry a
+    plain SMExtension with every capability off and the inert
+    fast-path engaged."""
+    cfg = scaled_config(num_sms=1)
+    kernel = tiny_kernel()
+    result = run_kernel(
+        config_with_cache_ext(cfg, kernel), kernel, keep_objects=True
+    )
+    ext = result.extensions[0]
+    assert type(ext) is SMExtension
+    assert flags_of(ext) == {flag: False for flag in FLAG_HOOKS}
+    sm = result.sms[0]
+    assert sm._ext_inert is True
+
+
+def test_plain_base_extension_resolves_all_false():
+    ext = SMExtension()
+    assert all(getattr(ext, flag) is None for flag in FLAG_HOOKS)
+    result = run_kernel(
+        scaled_config(num_sms=1), tiny_kernel(),
+        extension_factory=SMExtension, keep_objects=True,
+    )
+    assert flags_of(result.extensions[0]) == {f: False for f in FLAG_HOOKS}

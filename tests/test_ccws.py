@@ -1,10 +1,7 @@
 """Tests for the CCWS baseline (lost-locality warp throttling)."""
 
-import pytest
-
 from repro.baselines.ccws import (
     LOST_LOCALITY_SCORE,
-    CCWSExtension,
     run_ccws,
 )
 from repro.config import scaled_config

@@ -8,7 +8,6 @@ from repro.config import (
     WARP_REGISTER_BYTES,
     GPUConfig,
     LinebackerConfig,
-    SimulationConfig,
     paper_config,
     scaled_config,
 )

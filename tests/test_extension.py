@@ -1,7 +1,5 @@
 """Tests for the SM extension interface and the PCAL bypass throttler."""
 
-import pytest
-
 from repro.core.linebacker import BypassThrottler
 from repro.gpu.extension import SMExtension
 from repro.gpu.isa import alu, exit_inst

@@ -1,8 +1,6 @@
 """Failure-injection and edge-path tests: MSHR exhaustion, cycle caps,
 grids larger/smaller than the machine, and degenerate kernels."""
 
-import pytest
-
 from dataclasses import replace
 
 from repro.config import scaled_config

@@ -12,11 +12,10 @@ import pytest
 from dataclasses import replace
 
 from repro.config import scaled_config
-from repro.core.linebacker import LinebackerExtension, linebacker_factory
+from repro.core.linebacker import linebacker_factory
 from repro.core.load_monitor import MonitorState
 from repro.gpu.gpu import run_kernel
-from repro.gpu.isa import alu, load
-from repro.gpu.trace import from_instruction_lists
+from repro.gpu.isa import load
 from repro.workloads.generator import AppSpec, LoadSpec, Pattern, Scope, build_kernel
 
 
@@ -124,8 +123,6 @@ class TestStoreInvalidation:
         cfg = config(window=200)
         # One warp: monitored load gets selected, then a store to a
         # victim-resident line must invalidate the copy.
-        from repro.gpu.isa import store as store_inst
-
         insts = []
         for i in range(600):
             insts.append(load(0x100, [i % 48]))

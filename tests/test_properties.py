@@ -179,7 +179,10 @@ class TestBackupProperties:
         events.clear()
         rf.free(regs)
         new_regs = rf.allocate(len(values), owner=1)
-        engine.restore(record, rf, new_regs, 0, lambda c: None, lambda t, cb: events.append((t, cb)))
+        engine.restore(
+            record, rf, new_regs, 0,
+            lambda c: None, lambda t, cb: events.append((t, cb)),
+        )
         for t, cb in sorted(events, key=lambda e: e[0]):
             cb(t)
         assert [rf.peek(r) for r in new_regs] == values

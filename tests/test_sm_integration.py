@@ -1,8 +1,6 @@
 """Integration tests: SM pipeline, GPU clock loop, CTA lifecycle."""
 
-import pytest
-
-from repro.config import GPUConfig, SimulationConfig, scaled_config
+from repro.config import GPUConfig, scaled_config
 from repro.gpu.gpu import (
     GPU,
     run_kernel,

@@ -1,7 +1,5 @@
 """Unit tests for the Victim Tag Table and its partitions."""
 
-import pytest
-
 from repro.core.victim_tag_table import VictimTagTable
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.gpu.isa import alu, exit_inst, load
+from repro.gpu.isa import alu, exit_inst
 from repro.gpu.scheduler import GTOScheduler
 from repro.gpu.warp import Warp, WarpState
 

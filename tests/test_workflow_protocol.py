@@ -6,9 +6,7 @@ import pytest
 
 from repro.config import scaled_config
 from repro.core.cta_throttle import SearchPhase
-from repro.core.linebacker import LinebackerExtension, linebacker_factory
-from repro.core.load_monitor import MonitorState
-from repro.gpu.cta import CTAState
+from repro.core.linebacker import LinebackerExtension
 from repro.gpu.gpu import run_kernel
 from repro.workloads.generator import AppSpec, LoadSpec, Pattern, Scope, build_kernel
 
