@@ -4,6 +4,9 @@ Usage:
     python -m repro list [--archs]
     python -m repro run fig12 --apps S2,KM,LI --scale 0.3 --workers 4
     python -m repro run fig14 --sms 2 --no-cache
+    python -m repro run fig12 --executor remote --hosts a,b,c \\
+        --worker-command "ssh {host} python -m repro worker"
+    python -m repro worker --cache-dir /shared/cache --shared-cache
     python -m repro overhead
     python -m repro bench --reps 3 --output BENCH_sim.json
     python -m repro bench --check-against BENCH_sim.json
@@ -20,6 +23,14 @@ fans simulations out over N processes, and results are memoized in the
 persistent cache (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``) so a
 repeat of the same figure is near-instant. ``--no-cache`` bypasses the
 persistent layer for a guaranteed-fresh run.
+
+``--executor`` picks where jobs run: ``inline`` (this process),
+``pool`` (local process pool), ``remote`` (worker subprocesses from
+``--worker-command``, one per ``--hosts`` entry — the template default
+runs them locally, an ``ssh {host} ...`` template crosses machines),
+or ``loopback`` (the remote wire protocol, round-tripped in-process —
+deterministic, great for debugging). ``python -m repro worker`` is the
+process on the other end of that wire.
 """
 
 from __future__ import annotations
@@ -100,6 +111,49 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="result cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
     )
+    run_p.add_argument(
+        "--shared-cache",
+        action="store_true",
+        help="use the advisory-lock cache backend (safe for concurrent "
+        "writers on a shared/network filesystem)",
+    )
+    run_p.add_argument(
+        "--executor",
+        choices=("inline", "pool", "remote", "loopback"),
+        default=None,
+        help="where jobs run (default: $REPRO_EXECUTOR, else pool iff "
+        "--workers > 1)",
+    )
+    run_p.add_argument(
+        "--hosts",
+        default="",
+        help="comma-separated host names for --executor remote "
+        "(one worker each; default: --workers local workers)",
+    )
+    run_p.add_argument(
+        "--worker-command",
+        default=None,
+        help="remote worker launch template; {python} and {host} are "
+        'substituted (default: "{python} -u -m repro worker")',
+    )
+    run_p.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        help="seconds before a dispatched remote job is killed and requeued",
+    )
+    run_p.add_argument(
+        "--stats-report",
+        default=None,
+        help="write the RunnerStats JSON report to this path",
+    )
+
+    worker_p = sub.add_parser(
+        "worker",
+        add_help=False,
+        help="serve simulation jobs over stdin/stdout (wire protocol)",
+    )
+    worker_p.add_argument("rest", nargs=argparse.REMAINDER)
 
     list_p = sub.add_parser("list", help="list figures (and architectures)")
     list_p.add_argument(
@@ -254,9 +308,23 @@ def _cmd_run(args, parser: argparse.ArgumentParser) -> int:
         parser.error(f"unknown apps: {sorted(unknown)}")
 
     workers = args.workers if args.workers is not None else default_workers()
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    if args.no_cache:
+        cache = None
+    elif args.shared_cache:
+        from repro.runner import SharedDirectoryBackend
+
+        cache = ResultCache(backend=SharedDirectoryBackend(args.cache_dir))
+    else:
+        cache = ResultCache(args.cache_dir)
+    hosts = [h for h in args.hosts.split(",") if h] or None
     runner = ExperimentRunner(
-        workers=workers, cache=cache, use_cache=not args.no_cache
+        workers=workers,
+        cache=cache,
+        use_cache=not args.no_cache,
+        executor=args.executor,
+        hosts=hosts,
+        worker_command=args.worker_command,
+        job_timeout=args.job_timeout,
     )
     ctx = ExperimentContext(
         config=scaled_config(num_sms=args.sms),
@@ -278,13 +346,19 @@ def _cmd_run(args, parser: argparse.ArgumentParser) -> int:
         f"\n[{time.time() - started:.0f}s; {runner.stats.summary()}]",
         file=sys.stderr,
     )
+    if args.stats_report:
+        import json
+
+        with open(args.stats_report, "w") as fh:
+            json.dump(runner.stats.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"runner stats written to {args.stats_report}", file=sys.stderr)
     return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     argv = list(argv) if argv is not None else sys.argv[1:]
     # Historical alias: `python -m repro fig12 ...` == `run fig12 ...`.
-    known = ("run", "list", "overhead", "bench", "lint", "cache")
+    known = ("run", "list", "overhead", "bench", "lint", "cache", "worker")
     if argv and argv[0] not in known and not argv[0].startswith("-"):
         argv = ["run", *argv]
     if argv and argv[0] == "lint":
@@ -292,6 +366,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.lint.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "worker":
+        # The worker CLI owns its own argument surface (including --help).
+        from repro.runner.worker import main as worker_main
+
+        return worker_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
 

@@ -1,18 +1,24 @@
 """repro.runner — parallel experiment engine with a persistent cache.
 
 The runner expresses every simulation as a picklable, content-hashed
-:class:`JobSpec`, fans jobs out over a process pool (falling back to
-in-process execution), and memoizes portable results both in-process
-and on disk (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``). The
-string-keyed :data:`ARCHITECTURES` registry is the API every consumer
-(figure runners, CLI, benchmarks) uses to name a simulation.
+:class:`JobSpec`, executes it through a pluggable
+:class:`~repro.runner.executors.Executor` (in-process, process pool,
+wire-protocol loopback, or worker subprocesses that can sit on other
+hosts), and memoizes portable results both in-process and on disk
+(``$REPRO_CACHE_DIR`` or ``~/.cache/repro``) through a pluggable
+:class:`CacheBackend`. The string-keyed :data:`ARCHITECTURES` registry
+is the API every consumer (figure runners, CLI, benchmarks) uses to
+name a simulation.
 """
 
 from repro.runner.cache import (
     CACHE_SCHEMA_VERSION,
+    CacheBackend,
     CacheInfo,
+    DirectoryBackend,
     MISS,
     ResultCache,
+    SharedDirectoryBackend,
     cache_salt,
     code_salt,
     default_cache_dir,
@@ -21,8 +27,21 @@ from repro.runner.engine import (
     ExperimentRunner,
     JobRecord,
     RunnerStats,
+    default_executor,
     default_workers,
     execute_job,
+)
+from repro.runner.executors import (
+    EXECUTOR_NAMES,
+    Executor,
+    ExecutorUnavailable,
+    InlineExecutor,
+    JobOutcome,
+    LoopbackExecutor,
+    PoolExecutor,
+    RemoteExecutor,
+    RemoteJobError,
+    build_executor,
 )
 from repro.runner.registry import ARCHITECTURES, ArchSpec, register, resolve
 from repro.runner.snapshot import (
@@ -34,24 +53,42 @@ from repro.runner.snapshot import (
     portable_result,
 )
 from repro.runner.spec import JobSpec
+from repro.runner.wire import PROTOCOL_VERSION, WireError, WireResult
 
 __all__ = [
     "ARCHITECTURES",
     "ArchSpec",
     "CACHE_SCHEMA_VERSION",
+    "CacheBackend",
     "CacheInfo",
+    "DirectoryBackend",
+    "EXECUTOR_NAMES",
+    "Executor",
+    "ExecutorUnavailable",
     "ExperimentRunner",
     "ExtensionSnapshot",
+    "InlineExecutor",
+    "JobOutcome",
     "JobRecord",
     "JobSpec",
     "L1Snapshot",
+    "LoopbackExecutor",
     "MISS",
+    "PROTOCOL_VERSION",
+    "PoolExecutor",
+    "RemoteExecutor",
+    "RemoteJobError",
     "ResultCache",
     "RunnerStats",
     "SMSnapshot",
+    "SharedDirectoryBackend",
+    "WireError",
+    "WireResult",
+    "build_executor",
     "cache_salt",
     "code_salt",
     "default_cache_dir",
+    "default_executor",
     "default_workers",
     "execute_job",
     "portable",

@@ -1,19 +1,32 @@
-"""Persistent on-disk result cache for the experiment runner.
+"""Persistent result cache: pickled entries over pluggable backends.
 
-Layout: one pickle per job under ``$REPRO_CACHE_DIR`` (default
-``~/.cache/repro``), named ``<key>.pkl`` inside a two-character fan-out
-directory. The key is ``stable_hash(spec)`` salted with a cache schema
-version and the package version, so
+:class:`ResultCache` owns the *semantics* — key derivation
+(``stable_hash(salt, spec)``), the entry envelope (schema version +
+key echo + payload), and the corruption contract (anything unreadable
+degrades to a miss and is discarded, never served). *Storage* is a
+:class:`CacheBackend`:
+
+* :class:`DirectoryBackend` — the historical layout: one pickle per
+  job under ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``), named
+  ``<key>.pkl`` inside a two-character fan-out directory, written
+  atomically (temp file + ``os.replace``) so an interrupted writer can
+  never leave a half-written entry behind.
+* :class:`SharedDirectoryBackend` — the same layout hardened for
+  *many concurrent writers on a shared (e.g. network) filesystem*: an
+  advisory per-key ``flock`` serializes writers, and a read-through
+  check under the lock makes the first completed write win — later
+  writers of the same key (which, for a deterministic simulator,
+  carry an identical payload) skip their write instead of churning
+  the file underneath readers. On platforms without ``fcntl`` the
+  lock degrades to plain atomic-replace semantics.
+
+The key is salted with a cache schema version, the package version and
+a digest of the installed sources, so
 
 * re-running an identical figure is a pure cache read (near-instant),
 * any config/app/arch/scale change — however deep — misses, and
 * payload-format changes are invalidated by bumping
   :data:`CACHE_SCHEMA_VERSION` (documented in DESIGN.md).
-
-Writes are atomic (temp file + ``os.replace``), so concurrent workers
-or interrupted runs can never leave a half-written entry behind.
-Unreadable or mismatched entries are treated as misses and deleted —
-the caller falls back to re-simulation, never crashes.
 """
 
 from __future__ import annotations
@@ -22,9 +35,10 @@ import hashlib
 import os
 import pickle
 import tempfile
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterator, Optional
 
 import repro
 from repro.config import stable_hash
@@ -79,6 +93,114 @@ def default_cache_dir() -> Path:
     return Path("~/.cache/repro").expanduser()
 
 
+# ---------------------------------------------------------------------------
+# Backends
+# ---------------------------------------------------------------------------
+class CacheBackend:
+    """Raw entry-byte storage contract behind :class:`ResultCache`.
+
+    A backend maps keys to opaque byte blobs. It must guarantee that
+    :meth:`read` never observes a torn write (it may return garbage if
+    the *medium* corrupts data — the front-end's envelope check covers
+    that) and that :meth:`write`/:meth:`discard` failures surface as
+    exceptions rather than silent data loss.
+    """
+
+    root: Path
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def read(self, key: str) -> "bytes | None":
+        """The stored bytes for ``key``, or ``None`` when absent."""
+        raise NotImplementedError
+
+    def write(self, key: str, data: bytes) -> None:
+        raise NotImplementedError
+
+    def discard(self, key: str) -> None:
+        """Best-effort removal; never raises for a missing entry."""
+        try:
+            self.path_for(key).unlink()
+        except OSError:
+            pass
+
+    def entry_paths(self) -> Iterator[Path]:
+        if not self.root.is_dir():
+            return
+        yield from self.root.glob("??/*.pkl")
+
+
+class DirectoryBackend(CacheBackend):
+    """One file per entry, atomic replace, single-writer-friendly."""
+
+    def __init__(self, root: "Path | str | None" = None) -> None:
+        self.root = Path(root).expanduser() if root else default_cache_dir()
+
+    def read(self, key: str) -> "bytes | None":
+        try:
+            return self.path_for(key).read_bytes()
+        except FileNotFoundError:
+            return None
+
+    def write(self, key: str, data: bytes) -> None:
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp, path)
+        except Exception:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+
+class SharedDirectoryBackend(DirectoryBackend):
+    """Advisory-lock variant for concurrent writers on one directory.
+
+    Writers take an exclusive ``flock`` on ``<key>.lock`` next to the
+    entry, then re-check existence *under the lock* (read-through):
+    if another writer already landed the key, this write is skipped —
+    first writer wins and the entry file is only ever replaced when
+    absent. Readers stay lock-free; atomic replace guarantees they
+    see a complete entry or none.
+    """
+
+    @contextmanager
+    def _locked(self, key: str):
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        lock_path = path.with_suffix(".lock")
+        try:
+            import fcntl
+        except ImportError:  # non-POSIX: degrade to lockless atomic replace
+            yield
+            return
+        with open(lock_path, "a+b") as lock_fh:
+            fcntl.flock(lock_fh.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(lock_fh.fileno(), fcntl.LOCK_UN)
+
+    def write(self, key: str, data: bytes) -> None:
+        with self._locked(key):
+            if self.path_for(key).exists():
+                return  # first writer won; identical payload by determinism
+            super().write(key, data)
+
+    def discard(self, key: str) -> None:
+        super().discard(key)
+        try:
+            self.path_for(key).with_suffix(".lock").unlink()
+        except OSError:
+            pass
+
+
 @dataclass
 class CacheInfo:
     root: Path
@@ -89,15 +211,22 @@ class CacheInfo:
 class ResultCache:
     """Content-addressed pickle store for portable simulation results."""
 
-    def __init__(self, root: "Path | str | None" = None) -> None:
-        self.root = Path(root).expanduser() if root else default_cache_dir()
+    def __init__(
+        self,
+        root: "Path | str | None" = None,
+        backend: Optional[CacheBackend] = None,
+    ) -> None:
+        if backend is not None and root is not None:
+            raise ValueError("pass either root or backend, not both")
+        self.backend = backend if backend is not None else DirectoryBackend(root)
+        self.root = self.backend.root
         self._salt = cache_salt()
 
     def key_for(self, spec) -> str:
         return stable_hash(self._salt, spec)
 
     def path_for(self, key: str) -> Path:
-        return self.root / key[:2] / f"{key}.pkl"
+        return self.backend.path_for(key)
 
     # -- lookup ----------------------------------------------------------
     def get(self, key: str) -> Any:
@@ -107,14 +236,16 @@ class ResultCache:
         schema, classes that no longer unpickle — degrades to a miss;
         corrupted entries are deleted so they are rewritten cleanly.
         """
-        path = self.path_for(key)
         try:
-            with path.open("rb") as fh:
-                entry = pickle.load(fh)
-        except FileNotFoundError:
-            return MISS
+            data = self.backend.read(key)
         except Exception:
-            self._discard(path)
+            return MISS
+        if data is None:
+            return MISS
+        try:
+            entry = pickle.loads(data)
+        except Exception:
+            self.backend.discard(key)
             return MISS
         if (
             not isinstance(entry, dict)
@@ -122,43 +253,21 @@ class ResultCache:
             or entry.get("key") != key
             or "payload" not in entry
         ):
-            self._discard(path)
+            self.backend.discard(key)
             return MISS
         return entry["payload"]
 
     def put(self, key: str, payload: Any) -> None:
-        path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         entry = {"schema": CACHE_SCHEMA_VERSION, "key": key, "payload": payload}
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        except Exception:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-
-    @staticmethod
-    def _discard(path: Path) -> None:
-        try:
-            path.unlink()
-        except OSError:
-            pass
+        self.backend.write(
+            key, pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)
+        )
 
     # -- maintenance -----------------------------------------------------
-    def _entry_paths(self):
-        if not self.root.is_dir():
-            return
-        yield from self.root.glob("??/*.pkl")
-
     def info(self) -> CacheInfo:
         entries = 0
         total = 0
-        for path in self._entry_paths():
+        for path in self.backend.entry_paths():
             entries += 1
             try:
                 total += path.stat().st_size
@@ -169,7 +278,7 @@ class ResultCache:
     def clear(self) -> int:
         """Delete every cache entry; returns how many were removed."""
         removed = 0
-        for path in list(self._entry_paths()):
+        for path in list(self.backend.entry_paths()):
             try:
                 path.unlink()
                 removed += 1

@@ -1,0 +1,666 @@
+"""Pluggable job executors: *where* a simulation runs.
+
+The engine resolves every :class:`~repro.runner.spec.JobSpec` through
+its memo and the persistent cache; whatever survives is handed to an
+**executor** behind a three-method protocol:
+
+* ``submit(key, spec)`` — enqueue one job,
+* ``poll()``            — block until progress, return finished
+  :class:`JobOutcome`\\ s (possibly none, when the call only advanced
+  internal state such as a respawn),
+* ``shutdown()``        — release workers/pools; idempotent.
+
+Four implementations cover the deployment spectrum:
+
+=================  ========================================================
+``InlineExecutor``   runs jobs on ``poll()`` in the calling process — the
+                     zero-infrastructure reference semantics.
+``PoolExecutor``     the historical ``ProcessPoolExecutor`` fan-out.
+``LoopbackExecutor`` round-trips every spec through the full wire
+                     protocol (encode → decode → execute → encode →
+                     decode) *in-process*: every byte that would cross a
+                     network crosses a string, deterministically, which
+                     is what makes protocol faults unit-testable.
+``RemoteExecutor``   one worker subprocess per host entry, launched from
+                     a command template (``{python} -u -m repro worker``
+                     by default; set ``ssh {host} python -m repro
+                     worker`` for real remote hosts) and fed over
+                     line-delimited stdin/stdout.
+=================  ========================================================
+
+Failure semantics are uniform and deliberate:
+
+* a **simulation error** (the job itself raised) is final — it comes
+  back as ``JobOutcome(ok=False, error=...)`` and the engine re-raises,
+  because deterministic failures do not heal on retry;
+* an **infrastructure fault** (worker death, response timeout, a
+  corrupted wire line) requeues the job with bounded retries and
+  linear backoff; a job that exhausts its attempts is returned with
+  ``give_up=True`` and the engine finishes it in-process;
+* a **dead executor** (nothing can run at all: unlaunchable command,
+  no spawn budget left, broken pool) raises
+  :class:`ExecutorUnavailable` and the engine degrades to in-process
+  execution for everything still pending — the same graceful path the
+  pool has always had.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import shlex
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Protocol, runtime_checkable
+
+from repro.runner.spec import JobSpec
+from repro.runner.wire import (
+    WireError,
+    decode_hello,
+    decode_job,
+    decode_result,
+    encode_error,
+    encode_job,
+    encode_result,
+)
+
+#: Executor names accepted by the engine and the CLI.
+EXECUTOR_NAMES = ("inline", "pool", "remote", "loopback")
+
+#: Default per-job redispatch budget for wire-level executors.
+DEFAULT_MAX_ATTEMPTS = 3
+
+
+class ExecutorUnavailable(RuntimeError):
+    """The executor cannot run anything; degrade to in-process."""
+
+
+class RemoteJobError(RuntimeError):
+    """A job raised inside a worker; carries the remote traceback."""
+
+
+@dataclass
+class JobOutcome:
+    """One finished job as reported by an executor."""
+
+    key: str
+    ok: bool
+    payload: Any = None
+    seconds: float = 0.0
+    error: str = ""
+    #: True when infrastructure retries were exhausted: the engine
+    #: should run this job in-process rather than raise.
+    give_up: bool = False
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """The pluggable "where does a job run" surface."""
+
+    name: str
+
+    def submit(self, key: str, spec: JobSpec) -> None: ...
+
+    def poll(self) -> "list[JobOutcome]": ...
+
+    def shutdown(self) -> None: ...
+
+
+class _NullCounters:
+    """Stats sink used when an executor runs without a RunnerStats."""
+
+    retried = 0
+    requeued = 0
+    worker_deaths = 0
+
+
+# ---------------------------------------------------------------------------
+# Inline
+# ---------------------------------------------------------------------------
+class InlineExecutor:
+    """Run each job in the calling process, one per ``poll()``."""
+
+    name = "inline"
+
+    def __init__(self) -> None:
+        self._queue: deque[tuple[str, JobSpec]] = deque()
+
+    def submit(self, key: str, spec: JobSpec) -> None:
+        self._queue.append((key, spec))
+
+    def poll(self) -> list[JobOutcome]:
+        from repro.runner.engine import execute_job
+
+        if not self._queue:
+            return []
+        key, spec = self._queue.popleft()
+        payload, seconds = execute_job(spec)
+        return [JobOutcome(key=key, ok=True, payload=payload, seconds=seconds)]
+
+    def shutdown(self) -> None:
+        self._queue.clear()
+
+
+# ---------------------------------------------------------------------------
+# Process pool
+# ---------------------------------------------------------------------------
+class PoolExecutor:
+    """``ProcessPoolExecutor`` fan-out with infra-fault translation.
+
+    Pool-infrastructure failures (broken pool, sandboxed semaphores,
+    unpicklable payloads, fork unavailable) surface as
+    :class:`ExecutorUnavailable`; job-level simulation errors propagate
+    unchanged, exactly as the engine's historical pool path did.
+    """
+
+    name = "pool"
+
+    def __init__(self, workers: int) -> None:
+        self.workers = max(1, workers)
+        self._pool = None
+        self._futures: dict[Any, str] = {}
+
+    def _ensure_pool(self):
+        import concurrent.futures as cf
+
+        if self._pool is None:
+            try:
+                self._pool = cf.ProcessPoolExecutor(max_workers=self.workers)
+            except (OSError, ValueError, ImportError) as exc:
+                raise ExecutorUnavailable(f"cannot create process pool: {exc}")
+        return self._pool
+
+    def submit(self, key: str, spec: JobSpec) -> None:
+        import pickle
+
+        from repro.runner.engine import execute_job
+
+        pool = self._ensure_pool()
+        try:
+            future = pool.submit(execute_job, spec)
+        except (RuntimeError, OSError, pickle.PicklingError) as exc:
+            raise ExecutorUnavailable(f"pool submit failed: {exc}")
+        self._futures[future] = key
+
+    def poll(self) -> list[JobOutcome]:
+        import concurrent.futures as cf
+        import pickle
+
+        if not self._futures:
+            return []
+        done, _ = cf.wait(self._futures, return_when=cf.FIRST_COMPLETED)
+        outcomes = []
+        for future in done:
+            key = self._futures.pop(future)
+            try:
+                payload, seconds = future.result()
+            except cf.process.BrokenProcessPool as exc:
+                raise ExecutorUnavailable(f"process pool died: {exc}")
+            except (OSError, ValueError, ImportError, pickle.PicklingError) as exc:
+                raise ExecutorUnavailable(f"process pool unusable: {exc}")
+            outcomes.append(
+                JobOutcome(key=key, ok=True, payload=payload, seconds=seconds)
+            )
+        return outcomes
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        self._futures.clear()
+
+
+# ---------------------------------------------------------------------------
+# Loopback
+# ---------------------------------------------------------------------------
+class LoopbackExecutor:
+    """Full wire-protocol round trip, in-process and deterministic.
+
+    Each job is encoded to a job line, decoded as a worker would,
+    executed, encoded to a result line, and decoded back. The
+    ``mutate_job`` / ``mutate_result`` hooks let tests corrupt either
+    line and watch the retry/give-up machinery react — the exact
+    behaviour a flipped bit on a real socket would trigger, with none
+    of the nondeterminism.
+    """
+
+    name = "loopback"
+
+    def __init__(
+        self,
+        stats=None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        mutate_job: Optional[Callable[[str], str]] = None,
+        mutate_result: Optional[Callable[[str], str]] = None,
+    ) -> None:
+        self.stats = stats if stats is not None else _NullCounters()
+        self.max_attempts = max(1, max_attempts)
+        self.mutate_job = mutate_job
+        self.mutate_result = mutate_result
+        self._queue: deque[tuple[str, JobSpec]] = deque()
+
+    def submit(self, key: str, spec: JobSpec) -> None:
+        self._queue.append((key, spec))
+
+    def _round_trip(self, key: str, spec: JobSpec) -> JobOutcome:
+        """One attempt through the full encode/decode/execute cycle."""
+        from repro.runner.engine import execute_job
+
+        job_line = encode_job(key, spec)
+        if self.mutate_job is not None:
+            job_line = self.mutate_job(job_line)
+        wire_key, wire_spec = decode_job(job_line)  # may raise WireError
+
+        try:
+            payload, seconds = execute_job(wire_spec)
+            result_line = encode_result(wire_key, payload, seconds)
+        except Exception as exc:
+            result_line = encode_error(wire_key, f"{type(exc).__name__}: {exc}")
+        if self.mutate_result is not None:
+            result_line = self.mutate_result(result_line)
+        result = decode_result(result_line)  # may raise WireError
+        if result.ok:
+            return JobOutcome(
+                key=result.key, ok=True, payload=result.payload,
+                seconds=result.seconds,
+            )
+        return JobOutcome(key=result.key, ok=False, error=result.error)
+
+    def poll(self) -> list[JobOutcome]:
+        if not self._queue:
+            return []
+        key, spec = self._queue.popleft()
+        for attempt in range(1, self.max_attempts + 1):
+            if attempt > 1:
+                self.stats.retried += 1
+            try:
+                return [self._round_trip(key, spec)]
+            except WireError:
+                self.stats.requeued += 1
+        return [JobOutcome(key=key, ok=False, give_up=True,
+                           error="wire corruption persisted across retries")]
+
+    def shutdown(self) -> None:
+        self._queue.clear()
+
+
+# ---------------------------------------------------------------------------
+# Remote (subprocess-per-host)
+# ---------------------------------------------------------------------------
+#: Default worker launch template; ``{python}`` and ``{host}`` are
+#: substituted. Swap for e.g. ``ssh {host} python -m repro worker`` to
+#: cross real machines — the engine-side machinery is identical.
+DEFAULT_WORKER_COMMAND = "{python} -u -m repro worker"
+
+
+def _worker_env() -> dict:
+    """Subprocess environment with the installed ``repro`` importable."""
+    import repro
+
+    src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    if src_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            src_root + (os.pathsep + existing if existing else "")
+        )
+    return env
+
+
+@dataclass
+class _Worker:
+    """Book-keeping for one live worker subprocess."""
+
+    wid: int
+    host: str
+    proc: subprocess.Popen
+    #: (key, spec, attempt) currently dispatched, or None when idle.
+    job: Optional[tuple] = None
+    deadline: Optional[float] = None
+    greeted: bool = False
+    recycled: bool = False
+
+    @property
+    def alive(self) -> bool:
+        return not self.recycled and self.proc.poll() is None
+
+
+@dataclass
+class _QueuedJob:
+    key: str
+    spec: JobSpec
+    attempt: int = 1
+    not_before: float = 0.0
+
+
+class RemoteExecutor:
+    """Ship jobs to worker subprocesses over the wire protocol.
+
+    Parameters
+    ----------
+    hosts:
+        One worker per entry. Entries are only *names* interpolated
+        into ``command``; with the default local template the names are
+        cosmetic, with an SSH template they select machines. ``None``
+        spawns ``workers`` local workers.
+    command:
+        Launch template; ``{python}`` → ``sys.executable``, ``{host}``
+        → the host entry. Split with :func:`shlex.split`.
+    job_timeout:
+        Seconds a dispatched job may run before its worker is declared
+        wedged, killed, and the job requeued. ``None`` disables.
+    max_attempts / backoff:
+        Per-job redispatch budget for infrastructure faults, with
+        ``backoff * attempt`` seconds of delay before each redispatch.
+    """
+
+    name = "remote"
+
+    def __init__(
+        self,
+        hosts: Optional[list] = None,
+        workers: int = 2,
+        command: Optional[str] = None,
+        job_timeout: Optional[float] = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        backoff: float = 0.1,
+        stats=None,
+    ) -> None:
+        self.hosts = list(hosts) if hosts else ["local"] * max(1, workers)
+        self.command = command or DEFAULT_WORKER_COMMAND
+        self.job_timeout = job_timeout
+        self.max_attempts = max(1, max_attempts)
+        self.backoff = backoff
+        self.stats = stats if stats is not None else _NullCounters()
+        self._workers: dict[int, _Worker] = {}
+        self._events: "queue.Queue[tuple[int, str, str]]" = queue.Queue()
+        self._backlog: deque[_QueuedJob] = deque()
+        self._next_wid = 0
+        #: Spawn budget: a hard cap on subprocess launches so a command
+        #: that dies instantly cannot fork-bomb the machine.
+        self._spawn_budget = len(self.hosts) * (self.max_attempts + 1)
+        self._shutdown = False
+        self._pending_outcome: Optional[JobOutcome] = None
+
+    # -- worker lifecycle ------------------------------------------------
+    def _argv(self, host: str) -> list:
+        return shlex.split(self.command.format(python=sys.executable, host=host))
+
+    def _spawn(self, host: str) -> Optional[_Worker]:
+        if self._spawn_budget <= 0:
+            return None
+        self._spawn_budget -= 1
+        try:
+            proc = subprocess.Popen(
+                self._argv(host),
+                stdin=subprocess.PIPE,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.DEVNULL,
+                text=True,
+                bufsize=1,
+                env=_worker_env(),
+            )
+        except (OSError, ValueError) as exc:
+            self._events.put((-1, "spawn-error", f"{host}: {exc}"))
+            return None
+        wid = self._next_wid
+        self._next_wid += 1
+        worker = _Worker(wid=wid, host=host, proc=proc)
+        self._workers[wid] = worker
+        threading.Thread(
+            target=self._read_loop, args=(wid, proc), daemon=True
+        ).start()
+        return worker
+
+    def _read_loop(self, wid: int, proc: subprocess.Popen) -> None:
+        try:
+            for line in proc.stdout:
+                self._events.put((wid, "line", line))
+        except (OSError, ValueError):
+            pass
+        self._events.put((wid, "eof", ""))
+
+    def _ensure_workers(self) -> None:
+        alive = sum(1 for w in self._workers.values() if w.alive)
+        for host in self.hosts[alive:]:
+            if self._spawn_budget <= 0:
+                break
+            self._spawn(host)
+
+    def _recycle(self, worker: _Worker, reason: str) -> Optional[JobOutcome]:
+        """Kill a faulted worker and requeue its in-flight job."""
+        worker.recycled = True
+        try:
+            worker.proc.kill()
+        except OSError:
+            pass
+        self.stats.worker_deaths += 1
+        outcome = None
+        if worker.job is not None:
+            key, spec, attempt = worker.job
+            worker.job = None
+            outcome = self._requeue(key, spec, attempt, reason)
+        return outcome
+
+    def _requeue(
+        self, key: str, spec: JobSpec, attempt: int, reason: str
+    ) -> Optional[JobOutcome]:
+        if attempt >= self.max_attempts:
+            return JobOutcome(
+                key=key, ok=False, give_up=True,
+                error=f"{reason}; gave up after {attempt} attempts",
+            )
+        self.stats.requeued += 1
+        self._backlog.append(
+            _QueuedJob(
+                key=key, spec=spec, attempt=attempt + 1,
+                not_before=time.monotonic() + self.backoff * attempt,
+            )
+        )
+        return None
+
+    # -- dispatch --------------------------------------------------------
+    def _dispatch_ready(self) -> Optional[JobOutcome]:
+        """Hand backlog jobs to idle workers; respects backoff delays."""
+        now = time.monotonic()
+        idle = deque(
+            w for w in self._workers.values() if w.alive and w.job is None
+        )
+        pending = len(self._backlog)
+        for _ in range(pending):
+            if not idle:
+                break
+            job = self._backlog.popleft()
+            if job.not_before > now:
+                self._backlog.append(job)
+                continue
+            worker = idle.popleft()
+            if job.attempt > 1:
+                self.stats.retried += 1
+            worker.job = (job.key, job.spec, job.attempt)
+            worker.deadline = (
+                now + self.job_timeout if self.job_timeout else None
+            )
+            try:
+                worker.proc.stdin.write(encode_job(job.key, job.spec) + "\n")
+                worker.proc.stdin.flush()
+            except (OSError, ValueError):
+                outcome = self._recycle(worker, "worker pipe broke on dispatch")
+                if outcome is not None:
+                    return outcome
+        return None
+
+    # -- protocol --------------------------------------------------------
+    def submit(self, key: str, spec: JobSpec) -> None:
+        if self._shutdown:
+            raise ExecutorUnavailable("executor already shut down")
+        self._backlog.append(_QueuedJob(key=key, spec=spec))
+        self._ensure_workers()
+        if not any(w.alive for w in self._workers.values()):
+            raise ExecutorUnavailable(
+                f"no worker could be launched from template {self.command!r}"
+            )
+        outcome = self._dispatch_ready()
+        if outcome is not None:
+            # A dispatch pipe broke and retries were exhausted already;
+            # park the outcome for the next poll().
+            self._pending_outcome = outcome
+
+    def _handle_line(self, worker: _Worker, line: str) -> Optional[JobOutcome]:
+        line = line.strip()
+        if not line:
+            return None
+        if not worker.greeted:
+            try:
+                decode_hello(line)
+            except WireError:
+                return self._recycle(
+                    worker, f"worker spoke garbage instead of hello: {line[:80]!r}"
+                )
+            worker.greeted = True
+            return None
+        try:
+            result = decode_result(line)
+        except WireError as exc:
+            return self._recycle(worker, f"corrupted result line ({exc})")
+        if worker.job is None or result.key != worker.job[0]:
+            return self._recycle(
+                worker, f"result for unexpected key {result.key[:12]!r}"
+            )
+        key, spec, attempt = worker.job
+        worker.job = None
+        worker.deadline = None
+        if result.ok:
+            return JobOutcome(
+                key=key, ok=True, payload=result.payload, seconds=result.seconds
+            )
+        # Remote simulation error: final, no retry.
+        return JobOutcome(key=key, ok=False, error=result.error)
+
+    def _next_deadline(self) -> Optional[float]:
+        deadlines = [
+            w.deadline
+            for w in self._workers.values()
+            if w.alive and w.deadline is not None
+        ]
+        return min(deadlines) if deadlines else None
+
+    def poll(self) -> list[JobOutcome]:
+        outcomes: list[JobOutcome] = []
+        pending = getattr(self, "_pending_outcome", None)
+        if pending is not None:
+            self._pending_outcome = None
+            outcomes.append(pending)
+            return outcomes
+
+        outcome = self._dispatch_ready()
+        if outcome is not None:
+            return [outcome]
+
+        in_flight = any(
+            w.job is not None for w in self._workers.values() if w.alive
+        )
+        if not in_flight and not self._backlog:
+            # The engine believes jobs are outstanding but this executor
+            # holds none: state was lost. Failing loudly (and letting the
+            # engine degrade to in-process execution) beats spinning.
+            raise ExecutorUnavailable("executor lost track of pending jobs")
+        if not in_flight and self._backlog:
+            self._ensure_workers()
+            if not any(w.alive for w in self._workers.values()):
+                raise ExecutorUnavailable(
+                    "all workers dead and spawn budget exhausted"
+                )
+
+        deadline = self._next_deadline()
+        timeout = 0.25
+        if deadline is not None:
+            timeout = max(0.0, min(timeout, deadline - time.monotonic()))
+        try:
+            wid, kind, line = self._events.get(timeout=timeout)
+        except queue.Empty:
+            now = time.monotonic()
+            for worker in list(self._workers.values()):
+                if worker.alive and worker.deadline and worker.deadline <= now:
+                    outcome = self._recycle(
+                        worker,
+                        f"job exceeded timeout of {self.job_timeout}s",
+                    )
+                    if outcome is not None:
+                        outcomes.append(outcome)
+            self._ensure_workers()
+            return outcomes
+
+        if kind == "line":
+            worker = self._workers.get(wid)
+            if worker is not None and not worker.recycled:
+                outcome = self._handle_line(worker, line)
+                if outcome is not None:
+                    outcomes.append(outcome)
+        elif kind == "eof":
+            worker = self._workers.get(wid)
+            if worker is not None and not worker.recycled:
+                outcome = self._recycle(worker, "worker died")
+                if outcome is not None:
+                    outcomes.append(outcome)
+            self._ensure_workers()
+        # "spawn-error" events carry no job state; _ensure_workers and
+        # the ExecutorUnavailable check above handle systemic failure.
+        return outcomes
+
+    def shutdown(self) -> None:
+        self._shutdown = True
+        for worker in self._workers.values():
+            try:
+                if worker.proc.stdin:
+                    worker.proc.stdin.close()
+            except OSError:
+                pass
+        deadline = time.monotonic() + 2.0
+        for worker in self._workers.values():
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                worker.proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                worker.proc.kill()
+            except OSError:
+                pass
+
+
+# ---------------------------------------------------------------------------
+# Factory
+# ---------------------------------------------------------------------------
+def build_executor(
+    name: str,
+    *,
+    workers: int = 1,
+    hosts: Optional[list] = None,
+    command: Optional[str] = None,
+    job_timeout: Optional[float] = None,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    backoff: float = 0.1,
+    stats=None,
+) -> Executor:
+    """Construct a named executor with the engine's tuning knobs."""
+    if name == "inline":
+        return InlineExecutor()
+    if name == "pool":
+        return PoolExecutor(workers=workers)
+    if name == "loopback":
+        return LoopbackExecutor(stats=stats, max_attempts=max_attempts)
+    if name == "remote":
+        return RemoteExecutor(
+            hosts=hosts,
+            workers=workers,
+            command=command,
+            job_timeout=job_timeout,
+            max_attempts=max_attempts,
+            backoff=backoff,
+            stats=stats,
+        )
+    known = ", ".join(EXECUTOR_NAMES)
+    raise ValueError(f"unknown executor {name!r}; known: {known}")

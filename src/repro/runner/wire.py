@@ -1,0 +1,168 @@
+"""Line-delimited wire protocol between the engine and remote workers.
+
+One message per line, JSON envelope, pickled Python values carried as
+base64 with a SHA-256 digest:
+
+* ``hello``  — worker → engine, first line after startup; carries the
+  protocol version and the worker pid so the engine can verify it is
+  talking to a live ``repro`` worker and not, say, an SSH banner.
+* ``job``    — engine → worker: a content-hashed key plus the pickled
+  :class:`~repro.runner.spec.JobSpec`.
+* ``result`` — worker → engine: ``ok=True`` with the pickled portable
+  payload and the measured wall-clock seconds, or ``ok=False`` with a
+  traceback string when the *simulation itself* raised (infrastructure
+  failures never produce a result line — the worker just dies and the
+  engine requeues).
+
+Every decoding failure — malformed JSON, a foreign message type, a
+protocol-version mismatch, undecodable base64, a digest mismatch, an
+unpicklable body — raises :class:`WireError`. Callers treat a
+``WireError`` as evidence the *transport* is compromised (a corrupted
+line, a worker printing to stdout, an SSH warning interleaved) and
+respond by killing/requeueing rather than guessing: the digest check
+makes it impossible for a bit-flipped payload to be silently accepted.
+
+The protocol is deliberately text-line based so a worker can sit
+behind any byte pipe (``ssh host python -m repro worker``, a container
+exec, a local subprocess) without framing negotiation.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import hashlib
+import json
+import os
+import pickle
+from dataclasses import dataclass
+from typing import Any
+
+#: Bump on any incompatible message-shape change; mismatched peers
+#: refuse each other loudly instead of mis-parsing.
+PROTOCOL_VERSION = 1
+
+
+class WireError(ValueError):
+    """A line on the wire could not be decoded as a protocol message."""
+
+
+def _pack(value: Any) -> dict:
+    """Pickle ``value`` into a digest-protected transport dict."""
+    data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    return {
+        "b64": base64.b64encode(data).decode("ascii"),
+        "sha": hashlib.sha256(data).hexdigest(),
+    }
+
+
+def _unpack(box: Any) -> Any:
+    if not isinstance(box, dict) or "b64" not in box or "sha" not in box:
+        raise WireError("malformed payload box")
+    try:
+        data = base64.b64decode(box["b64"], validate=True)
+    except (binascii.Error, ValueError, TypeError) as exc:
+        raise WireError(f"undecodable payload base64: {exc}") from None
+    if hashlib.sha256(data).hexdigest() != box["sha"]:
+        raise WireError("payload digest mismatch (corrupted in transit)")
+    try:
+        return pickle.loads(data)
+    except Exception as exc:
+        raise WireError(f"unpicklable payload: {exc}") from None
+
+
+def _decode_envelope(line: str, expect: str) -> dict:
+    try:
+        msg = json.loads(line)
+    except (json.JSONDecodeError, TypeError) as exc:
+        raise WireError(f"not a protocol line: {exc}") from None
+    if not isinstance(msg, dict):
+        raise WireError("protocol message is not an object")
+    if msg.get("v") != PROTOCOL_VERSION:
+        raise WireError(
+            f"protocol version mismatch (got {msg.get('v')!r}, "
+            f"want {PROTOCOL_VERSION})"
+        )
+    if msg.get("type") != expect:
+        raise WireError(f"expected {expect!r} message, got {msg.get('type')!r}")
+    return msg
+
+
+# -- hello -----------------------------------------------------------------
+def encode_hello() -> str:
+    return json.dumps({"v": PROTOCOL_VERSION, "type": "hello", "pid": os.getpid()})
+
+
+def decode_hello(line: str) -> int:
+    """Validate a hello line; returns the worker pid."""
+    msg = _decode_envelope(line, "hello")
+    pid = msg.get("pid")
+    if not isinstance(pid, int):
+        raise WireError("hello without a pid")
+    return pid
+
+
+# -- jobs ------------------------------------------------------------------
+def encode_job(key: str, spec: Any) -> str:
+    return json.dumps(
+        {"v": PROTOCOL_VERSION, "type": "job", "key": key, "spec": _pack(spec)}
+    )
+
+
+def decode_job(line: str) -> tuple[str, Any]:
+    msg = _decode_envelope(line, "job")
+    key = msg.get("key")
+    if not isinstance(key, str) or not key:
+        raise WireError("job without a key")
+    return key, _unpack(msg.get("spec"))
+
+
+# -- results ---------------------------------------------------------------
+@dataclass(frozen=True)
+class WireResult:
+    """A decoded result line: either a payload or a remote traceback."""
+
+    key: str
+    ok: bool
+    payload: Any = None
+    seconds: float = 0.0
+    error: str = ""
+
+
+def encode_result(key: str, payload: Any, seconds: float) -> str:
+    return json.dumps(
+        {
+            "v": PROTOCOL_VERSION,
+            "type": "result",
+            "key": key,
+            "ok": True,
+            "seconds": seconds,
+            "payload": _pack(payload),
+        }
+    )
+
+
+def encode_error(key: str, error: str) -> str:
+    return json.dumps(
+        {"v": PROTOCOL_VERSION, "type": "result", "key": key, "ok": False,
+         "error": error}
+    )
+
+
+def decode_result(line: str) -> WireResult:
+    msg = _decode_envelope(line, "result")
+    key = msg.get("key")
+    if not isinstance(key, str) or not key:
+        raise WireError("result without a key")
+    if msg.get("ok"):
+        seconds = msg.get("seconds")
+        if not isinstance(seconds, (int, float)):
+            raise WireError("result without a wall-clock measurement")
+        return WireResult(
+            key=key, ok=True, payload=_unpack(msg.get("payload")),
+            seconds=float(seconds),
+        )
+    error = msg.get("error")
+    if not isinstance(error, str):
+        raise WireError("failed result without an error string")
+    return WireResult(key=key, ok=False, error=error)

@@ -55,17 +55,40 @@ def result_fingerprint(result) -> dict:
     }
 
 
-def fingerprint(app: str, arch: str) -> dict:
-    """Run one (app, arch) simulation and fingerprint its statistics."""
-    config = scaled_config(num_sms=GOLDEN_SMS)
-    kernel = kernel_for(app, GOLDEN_SCALE)
-    value = resolve(arch).runner(config, kernel)
+def fingerprint_value(arch: str, value) -> dict:
+    """Fingerprint an already-computed runner payload.
+
+    Works on live results and on portable snapshots alike, so the
+    executor-differential test can fingerprint whatever came over the
+    wire / out of a process pool and compare it against the pinned
+    values that :func:`fingerprint` produces in-process.
+    """
     if arch == "best_swl":
         fp = result_fingerprint(value.best_result)
         fp["best_limit"] = value.best_limit
         fp["sweep_ipc"] = {str(k): round(v, 12) for k, v in value.sweep_ipc.items()}
         return fp
     return result_fingerprint(value)
+
+
+def golden_spec(app: str, arch: str):
+    """The golden matrix cell as an engine :class:`JobSpec`."""
+    from repro.runner import JobSpec
+
+    return JobSpec.build(
+        app=app,
+        arch=arch,
+        config=scaled_config(num_sms=GOLDEN_SMS),
+        scale=GOLDEN_SCALE,
+    )
+
+
+def fingerprint(app: str, arch: str) -> dict:
+    """Run one (app, arch) simulation and fingerprint its statistics."""
+    config = scaled_config(num_sms=GOLDEN_SMS)
+    kernel = kernel_for(app, GOLDEN_SCALE)
+    value = resolve(arch).runner(config, kernel)
+    return fingerprint_value(arch, value)
 
 
 def collect() -> dict:

@@ -30,7 +30,10 @@ from golden import (  # noqa: E402
     GOLDEN_ARCHS,
     GOLDEN_PATH,
     fingerprint,
+    fingerprint_value,
+    golden_spec,
 )
+from repro.runner import ExperimentRunner  # noqa: E402
 
 
 @pytest.fixture(scope="module")
@@ -63,3 +66,37 @@ def test_statistics_bit_identical(golden, app: str, arch: str) -> None:
 def test_golden_file_covers_matrix(golden) -> None:
     expected_keys = {f"{arch}:{app}" for app in GOLDEN_APPS for arch in GOLDEN_ARCHS}
     assert expected_keys <= set(golden)
+
+
+@pytest.mark.parametrize("executor", ["pool", "loopback", "remote"])
+def test_executor_differential_bit_identical(golden, executor: str) -> None:
+    """Every executor must reproduce the pinned golden matrix exactly.
+
+    ``test_statistics_bit_identical`` already pins the in-process
+    fingerprints, so matching the *same pinned values* through the
+    pool, the wire loopback, and real worker subprocesses proves
+    4-way inline/pool/loopback/remote equivalence by transitivity —
+    "where a job runs" must be semantically invisible, down to the
+    last counter, for the distributed runner to be sound.
+    """
+    specs = [
+        golden_spec(app, arch) for app in GOLDEN_APPS for arch in GOLDEN_ARCHS
+    ]
+    runner = ExperimentRunner(workers=2, use_cache=False, executor=executor)
+    results = runner.run_many(specs)
+    mismatches = {}
+    for spec, value in zip(specs, results):
+        key = f"{spec.arch}:{spec.app}"
+        current = fingerprint_value(spec.arch, value)
+        expected = golden[key]
+        for stat in set(expected) | set(current):
+            if expected.get(stat) != current.get(stat):
+                mismatches[f"{key}.{stat}"] = (
+                    expected.get(stat),
+                    current.get(stat),
+                )
+    assert not mismatches, (
+        f"{executor} executor shifted simulation statistics "
+        f"(golden, current): {mismatches}"
+    )
+    assert runner.stats.dispatched == len(specs)

@@ -212,6 +212,22 @@ class TestParallelEquivalence:
         assert a is b
         assert runner.stats.simulated == 1
 
+    def test_duplicate_specs_each_get_a_record(self, tmp_path):
+        """Regression: duplicates coalesced within one ``run_many``
+        batch used to vanish from ``stats.records`` entirely, so the
+        record count silently disagreed with the input count. Every
+        input spec must yield exactly one record."""
+        runner = make_runner(tmp_path)
+        spec_a, spec_b = make_spec(), make_spec(app="LI")
+        batch = [spec_a, spec_b, spec_a, spec_a]
+        results = runner.run_many(batch)
+        assert len(results) == len(batch)
+        assert len(runner.stats.records) == len(batch)
+        sources = [r.source for r in runner.stats.records if r.key == spec_a.key]
+        assert sorted(sources) == ["coalesced", "coalesced", "run"]
+        assert runner.stats.coalesced == 2
+        assert runner.stats.simulated == 2
+
 
 class TestContextDelegation:
     def test_best_swl_keyed_by_content_not_identity(self, tmp_path):

@@ -1,16 +1,70 @@
-"""Manifest pinning for the 20-app suite.
+"""Manifest pinning for the 20-app suite and the test-module registry.
 
 The figure benchmarks compare architectures *on these workloads*; a
 silent change to an app's parameters would shift every measured number
 without any test noticing. This file pins the structural manifest —
 grid shapes, register pressure classes, load patterns — so calibration
 changes are deliberate (and update this manifest alongside).
+
+It also pins :data:`TEST_MODULES`, the registry of test files in this
+directory: a test module that is added without being registered here
+(or registered but deleted) fails loudly, so CI job definitions that
+enumerate modules explicitly (e.g. the distributed job) can never
+silently drift out of sync with the tree.
 """
+
+from pathlib import Path
 
 from repro.config import GPUConfig
 from repro.gpu.sm import SM
 from repro.workloads.generator import Pattern
 from repro.workloads.suite import APP_SPECS, kernel_for
+
+#: Every test module in ``tests/``; update alongside adding/removing files.
+TEST_MODULES = {
+    "test_analysis",
+    "test_backup",
+    "test_baselines",
+    "test_cache",
+    "test_capability_flags",
+    "test_ccws",
+    "test_charts",
+    "test_cli",
+    "test_combos",
+    "test_config",
+    "test_cta_throttle",
+    "test_distributed",
+    "test_dram_l2",
+    "test_dram_timing",
+    "test_extension",
+    "test_failure_paths",
+    "test_generator_extra",
+    "test_golden_equivalence",
+    "test_interconnect",
+    "test_isa_trace",
+    "test_linebacker_integration",
+    "test_lint",
+    "test_load_monitor",
+    "test_mshr",
+    "test_overhead",
+    "test_power",
+    "test_properties",
+    "test_register_file",
+    "test_results_api",
+    "test_runner",
+    "test_sm_integration",
+    "test_stats",
+    "test_suite_manifest",
+    "test_traceio",
+    "test_victim_tag_table",
+    "test_warp_scheduler",
+    "test_workflow_protocol",
+    "test_workloads",
+}
+
+#: Importable helper modules that are *not* collected as tests but are
+#: part of the test tree's public surface.
+SUPPORT_MODULES = {"__init__", "fault_injection", "golden"}
 
 #: name -> (num_ctas, warps_per_cta, regs_per_thread, n_loads, has_stream)
 MANIFEST = {
@@ -50,6 +104,14 @@ class TestManifest:
 
     def test_manifest_covers_whole_suite(self):
         assert set(MANIFEST) == set(APP_SPECS)
+
+    def test_test_module_registry_matches_tree(self):
+        on_disk = {p.stem for p in Path(__file__).parent.glob("*.py")}
+        registered = TEST_MODULES | SUPPORT_MODULES
+        missing = on_disk - registered
+        stale = registered - on_disk
+        assert not missing, f"unregistered test modules: {sorted(missing)}"
+        assert not stale, f"registered but deleted: {sorted(stale)}"
 
     def test_occupancy_classes(self):
         """Sensitive apps run 16 CTAs/SM (fine throttle steps); the
