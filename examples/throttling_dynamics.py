@@ -1,10 +1,14 @@
 #!/usr/bin/env python3
 """Visualize the CTA throttling ladder and victim space over time.
 
-Instruments one SM's Linebacker extension to log, at every monitoring
-window: IPC, active/inactive CTA counts, active victim partitions, and
-the controller's search phase — the dynamics of the paper's Figure 6
+Runs one app under Linebacker with per-window timeseries recording on
+(``run_kernel(..., timeseries=True)``) and prints SM0's window rows:
+IPC, active/inactive CTA counts, active victim partitions, and the
+controller's search phase — the dynamics of the paper's Figure 6
 workflow, on a real run.
+
+The same data is available from the CLI as
+``python -m repro trace APP linebacker [--json]``.
 
 Run:
     python examples/throttling_dynamics.py [APP]
@@ -13,38 +17,9 @@ Run:
 import sys
 
 from repro.config import scaled_config
-from repro.core.linebacker import LinebackerExtension, linebacker_factory
+from repro.core.linebacker import linebacker_factory
 from repro.gpu import run_kernel
-from repro.gpu.cta import CTAState
 from repro.workloads import ALL_APPS, kernel_for
-
-
-class TracingLinebacker(LinebackerExtension):
-    """Linebacker that logs a row per monitoring window on SM 0."""
-
-    log: list[dict] = []
-
-    def _close_window(self, cycle: int) -> None:
-        before = self._last_window_instructions
-        super()._close_window(cycle)
-        if self.sm.sm_id != 0:
-            return
-        instructions = self._last_window_instructions - before
-        active = sum(
-            1 for c in self.sm.ctas.values() if c.state is CTAState.ACTIVE
-        )
-        inactive = len(self.sm.ctas) - active
-        TracingLinebacker.log.append(
-            {
-                "cycle": cycle,
-                "ipc": instructions / self.config.window_cycles,
-                "active": active,
-                "inactive": inactive,
-                "vps": len(self.vtt.active_partitions()),
-                "state": self.load_monitor.state.value,
-                "phase": self.controller.phase.value,
-            }
-        )
 
 
 def main() -> None:
@@ -52,18 +27,22 @@ def main() -> None:
     if app not in ALL_APPS:
         raise SystemExit(f"unknown app {app!r}; choose one of {', '.join(ALL_APPS)}")
 
-    TracingLinebacker.log.clear()
     config = scaled_config()
     kernel = kernel_for(app, scale=0.5)
     result = run_kernel(
-        config, kernel, extension_factory=TracingLinebacker, keep_objects=True
+        config,
+        kernel,
+        extension_factory=linebacker_factory(config.linebacker),
+        keep_objects=True,
+        timeseries=True,
     )
+    series = result.timeseries[0]
 
     print(f"{app}: per-window dynamics on SM0 "
-          f"(window = {config.linebacker.window_cycles} cycles)\n")
+          f"(window = {series.window_cycles} cycles)\n")
     print(f"{'cycle':>8} {'IPC':>6} {'act':>4} {'inact':>6} {'VPs':>4} "
           f"{'monitor':>10} {'search':>11}  active-CTA bar")
-    for row in TracingLinebacker.log:
+    for row in series:
         bar = "#" * row["active"] + "." * row["inactive"]
         print(f"{row['cycle']:>8} {row['ipc']:>6.2f} {row['active']:>4} "
               f"{row['inactive']:>6} {row['vps']:>4} {row['state']:>10} "

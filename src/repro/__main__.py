@@ -8,6 +8,8 @@ Usage:
         --worker-command "ssh {host} python -m repro worker"
     python -m repro worker --cache-dir /shared/cache --shared-cache
     python -m repro overhead
+    python -m repro trace GE linebacker --json
+    python -m repro run dynamics --timeseries
     python -m repro bench --reps 3 --output BENCH_sim.json
     python -m repro bench --check-against BENCH_sim.json
     python -m repro lint --strict
@@ -48,7 +50,7 @@ from repro.analysis import (
 from repro.analysis import experiments as exp
 from repro.config import scaled_config
 from repro.runner import ARCHITECTURES, ExperimentRunner, ResultCache, default_workers
-from repro.workloads import ALL_APPS
+from repro.workloads import ALL_APPS, kernel_for
 
 #: figure name -> (runner, description)
 FIGURES = {
@@ -67,6 +69,7 @@ FIGURES = {
     "fig16": (exp.run_fig16, "register file bank conflicts"),
     "fig17": (exp.run_fig17, "off-chip memory traffic"),
     "fig18": (exp.run_fig18, "energy consumption"),
+    "dynamics": (exp.run_dynamics, "per-window timeseries summary (Fig 6 workflow)"),
 }
 
 
@@ -147,6 +150,35 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the RunnerStats JSON report to this path",
     )
+    run_p.add_argument(
+        "--timeseries",
+        action="store_true",
+        help="record per-window timeseries on every supporting "
+        "architecture (distinct cache keys from scalar runs)",
+    )
+
+    trace_p = sub.add_parser(
+        "trace", help="per-window timeseries of one (app, architecture) run"
+    )
+    trace_p.add_argument("app", help=f"one of {', '.join(ALL_APPS)}")
+    trace_p.add_argument(
+        "arch",
+        nargs="?",
+        default="linebacker",
+        help="a registered architecture that supports timeseries "
+        "(default: linebacker)",
+    )
+    trace_p.add_argument("--scale", type=float, default=0.5, help="workload scale")
+    trace_p.add_argument("--sms", type=int, default=4, help="number of SMs")
+    trace_p.add_argument(
+        "--sm", type=int, default=0, help="which SM's series to print (default 0)"
+    )
+    trace_p.add_argument(
+        "--json", action="store_true", help="emit the full series as JSON"
+    )
+    trace_p.add_argument(
+        "--output", default=None, help="write the output to this path instead of stdout"
+    )
 
     worker_p = sub.add_parser(
         "worker",
@@ -184,6 +216,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.30,
         help="fractional regression allowed against the baseline (default 0.30)",
+    )
+    bench_p.add_argument(
+        "--geomean-tolerance",
+        type=float,
+        default=None,
+        help="also gate the geomean instructions/sec against the "
+        "baseline at this fractional tolerance (e.g. 0.02)",
     )
 
     lint_p = sub.add_parser(
@@ -267,7 +306,10 @@ def _cmd_bench(args, parser: argparse.ArgumentParser) -> int:
         print(f"report written to {args.output}", file=sys.stderr)
     if args.check_against:
         problems = compare_reports(
-            report, load_report(args.check_against), tolerance=args.tolerance
+            report,
+            load_report(args.check_against),
+            tolerance=args.tolerance,
+            geomean_tolerance=args.geomean_tolerance,
         )
         if problems:
             print(
@@ -281,6 +323,90 @@ def _cmd_bench(args, parser: argparse.ArgumentParser) -> int:
             f"(tolerance {args.tolerance:.0%})",
             file=sys.stderr,
         )
+    return 0
+
+
+def _cmd_trace(args, parser: argparse.ArgumentParser) -> int:
+    """Run one (app, arch) simulation with timeseries on and print the
+    per-window rows — the observability entry point for the paper's
+    Fig. 6 workflow dynamics. Always simulates fresh (no cache)."""
+    from repro.runner.registry import resolve
+
+    if args.app not in ALL_APPS:
+        parser.error(f"unknown app {args.app!r}; choose one of {', '.join(ALL_APPS)}")
+    try:
+        arch = resolve(args.arch)
+    except KeyError as exc:
+        parser.error(str(exc))
+    if not arch.supports_timeseries:
+        parser.error(
+            f"architecture {args.arch!r} does not support timeseries recording"
+        )
+    if args.sm < 0 or args.sm >= args.sms:
+        parser.error(f"--sm must be in [0, {args.sms})")
+
+    config = scaled_config(num_sms=args.sms)
+    kernel = kernel_for(args.app, scale=args.scale)
+    print(
+        f"tracing {args.app} on {args.arch} at scale {args.scale} "
+        f"({args.sms} SMs, window = {config.linebacker.window_cycles} cycles)...",
+        file=sys.stderr,
+    )
+    result = arch.runner(config, kernel, timeseries=True)
+    series = result.timeseries[args.sm]
+    rows = list(series)
+
+    out = open(args.output, "w") if args.output else sys.stdout
+    try:
+        if args.json:
+            import json
+
+            json.dump(
+                {
+                    "version": series.version,
+                    "app": args.app,
+                    "arch": args.arch,
+                    "scale": args.scale,
+                    "sm": args.sm,
+                    "window_cycles": series.window_cycles,
+                    "dropped": series.dropped,
+                    "rows": rows,
+                },
+                out,
+                indent=2,
+                sort_keys=True,
+            )
+            out.write("\n")
+        else:
+            print(
+                f"{args.app}: per-window dynamics on SM{args.sm} "
+                f"(window = {series.window_cycles} cycles)\n",
+                file=out,
+            )
+            print(
+                f"{'cycle':>8} {'IPC':>6} {'act':>4} {'inact':>6} {'VPs':>4} "
+                f"{'monitor':>10} {'search':>11}  active-CTA bar",
+                file=out,
+            )
+            for row in rows:
+                bar = "#" * row["active"] + "." * row["inactive"]
+                print(
+                    f"{row['cycle']:>8} {row['ipc']:>6.2f} {row['active']:>4} "
+                    f"{row['inactive']:>6} {row.get('vps', 0):>4} "
+                    f"{row.get('state', '-'):>10} {row.get('phase', '-'):>11}  {bar}",
+                    file=out,
+                )
+            if series.dropped:
+                print(f"({series.dropped} oldest windows dropped)", file=out)
+            print(
+                f"\nfinal: IPC {result.ipc:.2f} over {result.cycles} cycles, "
+                f"{len(rows)} windows",
+                file=out,
+            )
+    finally:
+        if args.output:
+            out.close()
+            print(f"trace written to {args.output}", file=sys.stderr)
     return 0
 
 
@@ -331,6 +457,7 @@ def _cmd_run(args, parser: argparse.ArgumentParser) -> int:
         scale=args.scale,
         apps=apps,
         runner=runner,
+        default_overrides={"timeseries": True} if args.timeseries else {},
     )
     figure_runner, description = FIGURES[args.figure]
     print(
@@ -358,7 +485,7 @@ def _cmd_run(args, parser: argparse.ArgumentParser) -> int:
 def main(argv: list[str] | None = None) -> int:
     argv = list(argv) if argv is not None else sys.argv[1:]
     # Historical alias: `python -m repro fig12 ...` == `run fig12 ...`.
-    known = ("run", "list", "overhead", "bench", "lint", "cache", "worker")
+    known = ("run", "list", "overhead", "bench", "lint", "cache", "worker", "trace")
     if argv and argv[0] not in known and not argv[0].startswith("-"):
         argv = ["run", *argv]
     if argv and argv[0] == "lint":
@@ -380,6 +507,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_overhead()
     if args.command == "bench":
         return _cmd_bench(args, parser)
+    if args.command == "trace":
+        return _cmd_trace(args, parser)
     if args.command == "cache":
         return _cmd_cache(args)
     return _cmd_run(args, parser)

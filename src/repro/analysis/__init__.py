@@ -1,8 +1,10 @@
 """Experiment runners reproducing every data figure in the paper's
 evaluation, plus the Section 4.2 overhead inventory."""
 
+from repro.analysis.charts import bar_chart, grouped_bar_chart, timeseries_chart
 from repro.analysis.context import ExperimentContext, geomean
 from repro.analysis.experiments import (
+    run_dynamics,
     run_fig1,
     run_fig2,
     run_fig3,
@@ -25,9 +27,12 @@ from repro.analysis.report import format_series, format_table
 __all__ = [
     "ExperimentContext",
     "OverheadBreakdown",
+    "bar_chart",
     "format_series",
     "format_table",
     "geomean",
+    "grouped_bar_chart",
+    "run_dynamics",
     "run_fig1",
     "run_fig2",
     "run_fig3",
@@ -44,4 +49,5 @@ __all__ = [
     "run_fig17",
     "run_fig18",
     "storage_overhead",
+    "timeseries_chart",
 ]

@@ -47,6 +47,21 @@ def bar_chart(
     return "\n".join(lines)
 
 
+def timeseries_chart(
+    title: str,
+    rows,
+    key: str = "ipc",
+    width: int = 48,
+    fmt: str = "{:.2f}",
+) -> str:
+    """Render per-window timeseries rows (dicts with a ``cycle`` key,
+    e.g. a :class:`~repro.metrics.WindowSeries`) as one bar per window
+    of ``row[key]`` — the dynamics view of the old
+    ``throttling_dynamics`` example, for any recorded metric."""
+    values = {str(row["cycle"]): float(row.get(key, 0.0)) for row in rows}
+    return bar_chart(title, values, width=width, fmt=fmt)
+
+
 def grouped_bar_chart(
     title: str,
     rows: Mapping[str, Mapping[str, float]],

@@ -26,6 +26,7 @@ from repro.baselines.swl import BestSWLResult
 from repro.config import LinebackerConfig, SimulationConfig, scaled_config
 from repro.gpu.gpu import SimulationResult
 from repro.runner import ExperimentRunner, JobSpec
+from repro.runner.registry import resolve
 from repro.workloads.suite import ALL_APPS, kernel_for
 
 
@@ -37,6 +38,11 @@ class ExperimentContext:
     scale: float = 1.0
     apps: tuple[str, ...] = ALL_APPS
     runner: ExperimentRunner = field(default_factory=ExperimentRunner)
+    #: Overrides folded into every spec (``run --timeseries`` sets
+    #: ``{"timeseries": True}`` here). Keys an architecture does not
+    #: support are dropped per-spec, so e.g. ``best_swl`` jobs keep
+    #: their plain cache keys.
+    default_overrides: dict = field(default_factory=dict)
     _kernels: dict = field(default_factory=dict)
 
     def kernel(self, app: str):
@@ -47,6 +53,12 @@ class ExperimentContext:
     # -- registry API --------------------------------------------------------
     def spec(self, app: str, arch: str, **overrides: Any) -> JobSpec:
         """The content-hashed job naming one (app, arch) simulation."""
+        if self.default_overrides:
+            merged = dict(self.default_overrides)
+            if "timeseries" in merged and not resolve(arch).supports_timeseries:
+                del merged["timeseries"]
+            merged.update(overrides)
+            overrides = merged
         return JobSpec.build(
             app=app,
             arch=arch,

@@ -373,3 +373,39 @@ def run_fig18(ctx: ExperimentContext) -> dict[str, dict[str, float]]:
         k: geomean(out[a][k] for a in ctx.apps) for k in ("cerf", "linebacker")
     }
     return out
+
+
+# ---------------------------------------------------------------------------
+# Dynamics: per-window timeseries summary (Fig. 6 workflow over time)
+# ---------------------------------------------------------------------------
+def run_dynamics(ctx: ExperimentContext, arch: str = "linebacker") -> dict[str, dict[str, float]]:
+    """Summarize each app's per-window dynamics under ``arch``.
+
+    Runs with timeseries recording on (a distinct cache key from the
+    scalar runs) and folds SM0's window rows into scalars: window
+    count, mean per-window IPC, mean active CTAs, total throttled
+    windows, and the final number of active victim partitions.
+    """
+    ctx.run_many([(app, arch, {"timeseries": True}) for app in ctx.apps])
+    out: dict[str, dict[str, float]] = {}
+    for app in ctx.apps:
+        result = ctx.run(app, arch, timeseries=True)
+        series = (result.timeseries or [None])[0]
+        if series is None or len(series) == 0:
+            out[app] = {
+                "windows": 0.0,
+                "mean_ipc": 0.0,
+                "mean_active_ctas": 0.0,
+                "throttled_windows": 0.0,
+                "final_vps": 0.0,
+            }
+            continue
+        rows = list(series)
+        out[app] = {
+            "windows": float(len(rows)),
+            "mean_ipc": sum(r["ipc"] for r in rows) / len(rows),
+            "mean_active_ctas": sum(r["active"] for r in rows) / len(rows),
+            "throttled_windows": float(sum(1 for r in rows if r["inactive"] > 0)),
+            "final_vps": float(rows[-1].get("vps", 0)),
+        }
+    return out

@@ -191,7 +191,10 @@ def load_report(path: str) -> dict:
 
 
 def compare_reports(
-    current: BenchReport, baseline: dict, tolerance: float = 0.30
+    current: BenchReport,
+    baseline: dict,
+    tolerance: float = 0.30,
+    geomean_tolerance: "float | None" = None,
 ) -> list[str]:
     """Regressions of ``current`` against a saved ``baseline`` report.
 
@@ -200,6 +203,11 @@ def compare_reports(
     present in both reports. Absolute throughput depends on the host,
     so the tolerance must absorb machine-to-machine variance as well
     as noise; 30% is the CI gate from the issue.
+
+    ``geomean_tolerance``, when given, additionally gates the suite
+    geomean instructions-per-second — a much tighter aggregate check
+    (per-app noise averages out across the suite), used to hold the
+    engine's overhead budget (e.g. 2% for timeseries-off recording).
     """
     base_by_app = {a["app"]: a for a in baseline.get("apps", [])}
     problems = []
@@ -217,4 +225,15 @@ def compare_reports(
                 f"vs baseline {base_ips:,.0f} ({ratio:.2f}x, "
                 f"tolerance {1.0 - tolerance:.2f}x)"
             )
+    if geomean_tolerance is not None:
+        base_gm = baseline.get("geomean_instructions_per_second", 0.0)
+        if base_gm > 0:
+            gm = current.geomean_instructions_per_second
+            gm_ratio = gm / base_gm
+            if gm_ratio < 1.0 - geomean_tolerance:
+                problems.append(
+                    f"geomean: {gm:,.0f} instr/s vs baseline {base_gm:,.0f} "
+                    f"({gm_ratio:.3f}x, tolerance "
+                    f"{1.0 - geomean_tolerance:.3f}x)"
+                )
     return problems

@@ -34,6 +34,7 @@ from repro.core.load_monitor import LoadMonitor, MonitorState
 from repro.core.victim_tag_table import VictimTagTable
 from repro.gpu.extension import SMExtension
 from repro.memory.cache import CacheLine
+from repro.metrics import Metric, MetricSet
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.gpu.sm import SM
@@ -76,20 +77,33 @@ class BypassThrottler:
             self.tokens = min(resident_warps, self.tokens + 2)
 
 
-@dataclass
-class LinebackerStats:
+#: Per-SM Linebacker mechanism accounting (Figures 9, 10 and 17).
+#: None participate in the golden fingerprint — it pins the SM-level
+#: victim_hits and the subsystem backup/restore traffic instead.
+LINEBACKER_STATS = MetricSet(
+    "LinebackerStats",
+    owner="core.linebacker",
+    metrics=(
+        Metric("victim_inserts", description="lines preserved into victim registers"),
+        Metric("victim_hits", description="loads served from victim registers"),
+        Metric("victim_reads_corrupt", description="victim entries dropped on value mismatch"),
+        Metric("throttle_events", description="CTAs throttled by the IPC ladder"),
+        Metric("reactivate_events", description="CTAs reactivated by the IPC ladder"),
+        Metric("monitoring_windows", description="windows spent in the monitoring phase"),
+        Metric("windows_sampled", description="windows with register-space samples"),
+        Metric("idle_register_bytes_sum", description="summed idle register bytes"),
+        Metric("victim_capacity_bytes_sum", description="summed active VP capacity bytes"),
+        Metric("dynamic_unused_bytes_sum", description="summed backed-up register bytes"),
+    ),
+)
+
+_LinebackerStatsBase = LINEBACKER_STATS.build()
+
+
+class LinebackerStats(_LinebackerStatsBase):
     """Per-SM Linebacker accounting used by Figures 9, 10 and 17."""
 
-    victim_inserts: int = 0
-    victim_hits: int = 0
-    victim_reads_corrupt: int = 0
-    throttle_events: int = 0
-    reactivate_events: int = 0
-    monitoring_windows: int = 0
-    windows_sampled: int = 0
-    idle_register_bytes_sum: int = 0
-    victim_capacity_bytes_sum: int = 0
-    dynamic_unused_bytes_sum: int = 0
+    __slots__ = ()
 
     @property
     def mean_idle_register_bytes(self) -> float:
@@ -183,6 +197,17 @@ class LinebackerExtension(SMExtension):
         while cycle >= self._window_end:
             self._close_window(self._window_end)
             self._window_end += self.config.window_cycles
+
+    def timeseries_sample(self, cycle: int) -> dict:
+        """Mechanism state folded into each timeseries window row."""
+        return {
+            "vps": len(self.vtt.active_partitions()),
+            "state": self.load_monitor.state.value,
+            "phase": self.controller.phase.value,
+            "vp_hits": [vp.hits for vp in self.vtt.partitions],
+            "backup_write_lines": self.sm.memory.traffic.backup_write_lines,
+            "restore_read_lines": self.sm.memory.traffic.restore_read_lines,
+        }
 
     def _close_window(self, cycle: int) -> None:
         cfg = self.config

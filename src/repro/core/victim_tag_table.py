@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.metrics import Metric, MetricSet
+
 
 @dataclass(slots=True)
 class VTTEntry:
@@ -33,14 +35,24 @@ class VTTEntry:
     lru: int = 0
 
 
-@dataclass
-class VTTStats:
-    lookups: int = 0
-    hits: int = 0
-    inserts: int = 0
-    store_invalidations: int = 0
-    partition_activations: int = 0
-    partition_deactivations: int = 0
+VTT_STATS = MetricSet(
+    "VTTStats",
+    owner="core.victim_tag_table",
+    metrics=(
+        Metric("lookups", description="tag searches across active VPs"),
+        Metric("hits", description="tag matches"),
+        Metric("inserts", description="victim tags inserted"),
+        Metric("store_invalidations", description="entries killed by stores"),
+        Metric("partition_activations", description="VPs switched on"),
+        Metric("partition_deactivations", description="VPs switched off"),
+    ),
+)
+
+_VTTStatsBase = VTT_STATS.build()
+
+
+class VTTStats(_VTTStatsBase):
+    __slots__ = ()
 
 
 class VTTPartition:
@@ -53,6 +65,9 @@ class VTTPartition:
         self.base_rn = base_rn
         self.entries = [[VTTEntry() for _ in range(ways)] for _ in range(num_sets)]
         self.active = False
+        #: Per-partition hit count — the timeseries layer reports it so
+        #: dynamics traces show *which* VPs serve the victim hits.
+        self.hits = 0
 
     @property
     def num_entries(self) -> int:
@@ -156,6 +171,7 @@ class VictimTagTable:
                 if entry.valid and entry.tag == tag:
                     entry.lru = self._clock
                     self.stats.hits += 1
+                    vp.hits += 1
                     return vp.register_number(set_idx, way), searched * self.vp_access_latency
         return None
 

@@ -42,6 +42,7 @@ class SMExtension:
     * ``wants_store_events`` — ``on_store`` does something.
     * ``controls_fill`` — ``allocate_fill`` can return False.
     * ``wants_evictions`` — ``on_l1_eviction`` does something.
+    * ``wants_timeseries`` — ``timeseries_sample`` contributes rows.
 
     The class defaults are ``None`` = "auto": :meth:`attach` resolves
     them by checking whether the subclass overrides the corresponding
@@ -59,6 +60,7 @@ class SMExtension:
     wants_store_events: "bool | None" = None
     controls_fill: "bool | None" = None
     wants_evictions: "bool | None" = None
+    wants_timeseries: "bool | None" = None
 
     def attach(self, sm: "SM") -> None:
         """Called once when the SM is constructed."""
@@ -79,10 +81,18 @@ class SMExtension:
             self.controls_fill = cls.allocate_fill is not base.allocate_fill
         if self.wants_evictions is None:
             self.wants_evictions = cls.on_l1_eviction is not base.on_l1_eviction
+        if self.wants_timeseries is None:
+            self.wants_timeseries = cls.timeseries_sample is not base.timeseries_sample
 
     # -- per-cycle / windowing -------------------------------------------
     def on_tick(self, cycle: int) -> None:
         """Called at every SM tick (after responses, before issue)."""
+
+    def timeseries_sample(self, cycle: int) -> dict:
+        """Extra key/value pairs merged into the SM's timeseries row at
+        the window boundary ending at ``cycle``. Only called when the
+        run records timeseries (``run_kernel(..., timeseries=True)``)."""
+        return {}
 
     # -- memory path -------------------------------------------------------
     def should_bypass(self, warp: "Warp", line_addr: int, cycle: int) -> bool:

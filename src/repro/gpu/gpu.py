@@ -41,6 +41,16 @@ class SimulationResult:
     sms: list[SM] = field(default_factory=list, repr=False)
 
     @property
+    def timeseries(self) -> "list | None":
+        """Per-SM :class:`~repro.metrics.WindowSeries` list, or None
+        when the run did not record timeseries. Works on both live SMs
+        and snapshots."""
+        series = [getattr(sm, "timeseries", None) for sm in self.sms]
+        if any(s is not None for s in series):
+            return series
+        return None
+
+    @property
     def instructions(self) -> int:
         return sum(s.instructions for s in self.sm_stats)
 
@@ -107,6 +117,7 @@ class GPU:
         extension_factory: Optional[ExtensionFactory] = None,
         max_concurrent_ctas: Optional[int] = None,
         track_loads: bool = False,
+        timeseries: bool = False,
     ) -> None:
         self.config = config
         self.kernel = kernel
@@ -131,6 +142,7 @@ class GPU:
                 max_concurrent_ctas=max_concurrent_ctas,
                 track_loads=track_loads,
                 load_window=config.linebacker.window_cycles,
+                record_timeseries=timeseries,
             )
             for i in range(config.gpu.num_sms)
         ]
@@ -257,6 +269,7 @@ def run_kernel(
     max_concurrent_ctas: Optional[int] = None,
     track_loads: bool = False,
     keep_objects: bool = False,
+    timeseries: bool = False,
 ) -> SimulationResult:
     """Convenience wrapper: build a GPU and run one kernel.
 
@@ -274,5 +287,6 @@ def run_kernel(
         extension_factory=extension_factory,
         max_concurrent_ctas=max_concurrent_ctas,
         track_loads=track_loads,
+        timeseries=timeseries,
     )
     return gpu.run(keep_objects=keep_objects)

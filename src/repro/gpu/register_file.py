@@ -18,17 +18,26 @@ The model covers the three behaviours the paper evaluates:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from repro.config import WARP_REGISTER_BYTES
+from repro.metrics import Metric, MetricSet
+
+REGISTER_FILE_STATS = MetricSet(
+    "RegisterFileStats",
+    owner="gpu.register_file",
+    metrics=(
+        Metric("reads", description="register reads"),
+        Metric("writes", description="register writes"),
+        Metric("bank_conflicts", description="same-cycle bank over-subscriptions", fingerprint=True),
+    ),
+)
+
+_RegisterFileStatsBase = REGISTER_FILE_STATS.build()
 
 
-@dataclass(slots=True)
-class RegisterFileStats:
-    reads: int = 0
-    writes: int = 0
-    bank_conflicts: int = 0
+class RegisterFileStats(_RegisterFileStatsBase):
+    __slots__ = ()
 
 
 class RegisterFile:

@@ -22,12 +22,13 @@ from repro.gpu.extension import SMExtension
 from repro.gpu.isa import Instruction, Op
 from repro.gpu.register_file import RegisterFile
 from repro.gpu.scheduler import GTOScheduler
-from repro.gpu.stats import LoadTracker, SMStats
+from repro.gpu.stats import SM_STATS, LoadTracker, SMStats
 from repro.gpu.trace import KernelTrace
 from repro.gpu.warp import Warp, WarpState
 from repro.memory.cache import SetAssociativeCache
 from repro.memory.mshr import MSHRFile
 from repro.memory.subsystem import MemorySubsystem
+from repro.metrics import WindowRecorder
 
 #: A source of grid CTA ids: returns the next unlaunched CTA id or None.
 CTASource = Callable[[], Optional[int]]
@@ -69,6 +70,7 @@ class SM:
         max_concurrent_ctas: Optional[int] = None,
         track_loads: bool = False,
         load_window: int = 50_000,
+        record_timeseries: bool = False,
     ) -> None:
         self.sm_id = sm_id
         self.config = config
@@ -91,6 +93,17 @@ class SM:
         self.schedulers = [GTOScheduler(i) for i in range(config.num_schedulers)]
         self.stats = SMStats()
         self.load_tracker = LoadTracker(load_window) if track_loads else None
+        # Opt-in per-window timeseries. When off, the per-tick cost is
+        # one float compare against the infinite sentinel (the same
+        # trick the event fast-forward uses).
+        self._ts_recorder: Optional[WindowRecorder] = None
+        self._ts_next: float = _NO_EVENT
+        if record_timeseries:
+            # ``load_window`` is the mechanism window (the GPU passes
+            # config.linebacker.window_cycles) — timeseries rows share
+            # its boundary grid.
+            self._ts_recorder = WindowRecorder(load_window, SM_STATS.counter_names())
+            self._ts_next = load_window
 
         self.ctas: dict[int, CTA] = {}
         self._next_slot = 0
@@ -125,6 +138,10 @@ class SM:
         self._ext_wants_store_events = flag(ext.wants_store_events, "on_store")
         self._ext_controls_fill = flag(ext.controls_fill, "allocate_fill")
         self._ext_wants_evictions = flag(ext.wants_evictions, "on_l1_eviction")
+        # Deliberately NOT part of _ext_inert: timeseries_sample only
+        # reads state at window boundaries, so a baseline run with
+        # recording on keeps the fused fast path.
+        self._ext_wants_timeseries = flag(ext.wants_timeseries, "timeseries_sample")
         # Inert = no hook can observe or mutate per-issue state, which
         # licenses the fused tick/next-event scan (see tick()).
         self._ext_inert = not (
@@ -326,6 +343,8 @@ class SM:
         if events and events[0][0] <= cycle:
             self._process_events(cycle)
         if self._ext_inert:
+            if cycle >= self._ts_next:
+                self._ts_sample(cycle)
             # Fused issue + next-event-hint scan, inlined (one call per
             # run-loop iteration). Legal only for inert extensions: no
             # hook can mutate warp state mid-issue, so each scheduler
@@ -475,6 +494,12 @@ class SM:
             return hint
         if self._ext_wants_ticks:
             self.extension.on_tick(cycle)
+        if cycle >= self._ts_next:
+            # After on_tick: the extension has closed its windows up to
+            # this cycle, so the sampled mechanism state (monitor
+            # phase, throttle ladder, VPs) is the post-boundary state —
+            # exactly what the per-window log used to capture.
+            self._ts_sample(cycle)
         ready = _READY
         stats = self.stats
         rf_account = self.register_file.account_operand_traffic
@@ -708,6 +733,37 @@ class SM:
     def _track_load(self, pc: int, line_addr: int, hit: bool, cycle: int) -> None:
         if self.load_tracker is not None:
             self.load_tracker.record(pc, line_addr, hit, cycle)
+
+    # ------------------------------------------------------------------
+    # Timeseries recording
+    # ------------------------------------------------------------------
+    def _ts_sample(self, cycle: int) -> None:
+        """Capture every window boundary the clock has crossed.
+
+        Event fast-forward can jump several windows at once; the loop
+        emits one row per boundary (intermediate rows carry zero
+        counter deltas, matching the extension's own catch-up loop).
+        """
+        rec = self._ts_recorder
+        boundary = self._ts_next
+        window = rec.series.window_cycles
+        wants_extra = self._ext_wants_timeseries
+        while cycle >= boundary:
+            extra = self.extension.timeseries_sample(int(boundary)) if wants_extra else None
+            active = 0
+            for cta in self.ctas.values():
+                if cta.state is CTAState.ACTIVE:
+                    active += 1
+            rec.capture(int(boundary), self.stats, active, len(self.ctas) - active, extra)
+            boundary += window
+        self._ts_next = boundary
+
+    @property
+    def timeseries(self):
+        """The recorded :class:`~repro.metrics.WindowSeries`, or None
+        when this run did not record timeseries."""
+        rec = self._ts_recorder
+        return rec.series if rec is not None else None
 
     # ------------------------------------------------------------------
     # Clocking interface for the GPU-level loop

@@ -35,6 +35,7 @@ class SMSnapshot:
     done: bool
     l1: L1Snapshot
     load_tracker: Optional[object] = None  # a self-contained LoadTracker
+    timeseries: Optional[object] = None  # a WindowSeries when recorded
 
 
 @dataclass
@@ -76,4 +77,5 @@ def snapshot_sm(sm) -> SMSnapshot:
             assoc=sm.l1.assoc,
         ),
         load_tracker=sm.load_tracker,
+        timeseries=getattr(sm, "timeseries", None),
     )

@@ -13,6 +13,8 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 
+from repro.metrics import Metric, MetricSet
+
 
 @dataclass(slots=True)
 class LoadBehavior:
@@ -55,19 +57,32 @@ class LoadBehavior:
         self._seen.clear()
 
 
-@dataclass(slots=True)
-class SMStats:
-    """Per-SM counters."""
+#: Per-SM counters, declared once; the storage class is generated.
+SM_STATS = MetricSet(
+    "SMStats",
+    owner="gpu.sm",
+    metrics=(
+        Metric("instructions", description="warp instructions issued", fingerprint=True),
+        Metric("loads", description="load instructions executed", fingerprint=True),
+        Metric("stores", description="store instructions executed", fingerprint=True),
+        Metric("l1_hits", description="L1 data cache hits", fingerprint=True),
+        Metric("l1_misses", description="L1 data cache misses", fingerprint=True),
+        # "Reg hit" in Figure 13.
+        Metric("victim_hits", description="victim-cache (register file) hits", fingerprint=True),
+        # PCAL-style L1 bypasses.
+        Metric("bypasses", description="L1 bypasses", fingerprint=True),
+        Metric("mem_requests", description="memory requests issued past L1", fingerprint=True),
+        Metric("cycles", kind="gauge", description="cycles the SM was live", fingerprint=True),
+    ),
+)
 
-    instructions: int = 0
-    loads: int = 0
-    stores: int = 0
-    l1_hits: int = 0
-    l1_misses: int = 0
-    victim_hits: int = 0          # "Reg hit" in Figure 13
-    bypasses: int = 0             # PCAL-style L1 bypasses
-    mem_requests: int = 0
-    cycles: int = 0
+_SMStatsBase = SM_STATS.build()
+
+
+class SMStats(_SMStatsBase):
+    """Per-SM counters (storage generated from :data:`SM_STATS`)."""
+
+    __slots__ = ()
 
     @property
     def ipc(self) -> float:
@@ -108,7 +123,10 @@ class LoadTracker:
     def record(self, pc: int, line_addr: int, hit: bool, cycle: int) -> None:
         if cycle - self._window_start >= self.window_cycles:
             self.close_window()
-            self._window_start = cycle
+            # Re-anchor to the fixed window grid, not the triggering
+            # access's cycle — otherwise boundaries drift with access
+            # timing and windows silently stretch.
+            self._window_start = cycle - (cycle % self.window_cycles)
         self.current[pc].record(line_addr, hit)
         self.total_accesses[pc] += 1
 
@@ -155,5 +173,5 @@ class LoadTracker:
 
     def mean_streaming_bytes(self) -> float:
         """Average per-window streaming data size — paper Figure 3."""
-        sizes = [s for s in self.window_streaming_bytes if s >= 0]
+        sizes = self.window_streaming_bytes
         return sum(sizes) / len(sizes) if sizes else 0.0

@@ -1,45 +1,85 @@
-"""Stats / snapshot schema parity.
+"""Metric registry / golden fingerprint parity.
 
 The golden-equivalence gate (``tests/golden_stats.json``) is only as
-strong as the fingerprint it pins. A counter added to
-:class:`repro.gpu.stats.SMStats` but never folded into
+strong as the fingerprint it pins. Since the metrics core landed,
+counter sets are declared as ``MetricSet(...)`` registrations
+(:mod:`repro.metrics.registry`) and each :class:`Metric` says whether
+it participates in the fingerprint (``fingerprint=True``). A metric
+*declared* fingerprint-bearing but never folded into
 ``tests/golden.py``'s ``result_fingerprint`` escapes the gate
 entirely: an engine change could corrupt it and every test would stay
 green. This pass closes the loop statically:
 
-* ``stats-parity`` — every counter field declared on ``SMStats`` must
-  be *read* inside ``result_fingerprint`` (as ``s.<counter>``,
-  ``result.<counter>`` or any attribute access of that name).
+* ``stats-parity`` — every ``Metric(..., fingerprint=True)`` declared
+  in any ``MetricSet(...)`` call must be *read* inside
+  ``result_fingerprint`` (as ``s.<name>``, ``result.<name>`` or any
+  attribute access of that name).
 
-Derived ``@property`` accessors on ``SMStats`` are not counters and
-are exempt. When the project contains no ``SMStats`` class or no
-``result_fingerprint`` function (e.g. linting a file subset), the
-pass has nothing to check and stays silent.
+The declarations are recovered from the AST (the linter never imports
+code), so the pass re-derives its coverage list from the registry
+source itself — adding a fingerprint metric without extending the
+fingerprint is a lint error, not a silent gap. When the project
+contains no ``MetricSet`` declarations or no ``result_fingerprint``
+function (e.g. linting a file subset), the pass has nothing to check
+and stays silent.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterable
+from typing import Iterable, Iterator
 
 from repro.lint.finding import Finding, Severity
 from repro.lint.registry import Rule, lint_pass, make_finding
-from repro.lint.source import Project
+from repro.lint.source import Project, SourceFile
 
 PASS_NAME = "stats-parity"
 
-STATS_CLASS = "SMStats"
+METRIC_SET_CALL = "MetricSet"
+METRIC_CALL = "Metric"
 FINGERPRINT_FN = "result_fingerprint"
 
 
-def _counter_fields(node: ast.ClassDef) -> dict[str, int]:
-    """Dataclass counter fields -> line (annotated, non-property)."""
-    fields: dict[str, int] = {}
-    for stmt in node.body:
-        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
-            if not stmt.target.id.startswith("_"):
-                fields[stmt.target.id] = stmt.lineno
-    return fields
+def _call_name(node: ast.Call) -> str:
+    """The bare callee name of ``Foo(...)`` or ``mod.Foo(...)``."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def _metric_declarations(
+    src: SourceFile,
+) -> Iterator[tuple[str, bool, int]]:
+    """Yield ``(name, fingerprint, line)`` per Metric in MetricSet calls.
+
+    Only statically-resolvable declarations are considered: the metric
+    name must be a string constant (first positional or ``name=``) and
+    the ``fingerprint`` keyword, when present, a boolean constant.
+    Dynamic constructions are invisible to the registry source idiom
+    and skipped rather than guessed at.
+    """
+    for node in ast.walk(src.tree):
+        if not isinstance(node, ast.Call) or _call_name(node) != METRIC_SET_CALL:
+            continue
+        for inner in ast.walk(node):
+            if not isinstance(inner, ast.Call) or _call_name(inner) != METRIC_CALL:
+                continue
+            name = None
+            if inner.args and isinstance(inner.args[0], ast.Constant):
+                if isinstance(inner.args[0].value, str):
+                    name = inner.args[0].value
+            fingerprint = False
+            for kw in inner.keywords:
+                if kw.arg == "name" and isinstance(kw.value, ast.Constant):
+                    if isinstance(kw.value.value, str):
+                        name = kw.value.value
+                elif kw.arg == "fingerprint" and isinstance(kw.value, ast.Constant):
+                    fingerprint = bool(kw.value.value)
+            if name is not None:
+                yield name, fingerprint, inner.lineno
 
 
 def _attribute_reads(fn: ast.FunctionDef) -> set[str]:
@@ -52,29 +92,37 @@ def _attribute_reads(fn: ast.FunctionDef) -> set[str]:
 
 RULES = (
     Rule("stats-parity", Severity.ERROR,
-         "SMStats counter missing from the golden fingerprint schema"),
+         "fingerprint-declared metric missing from the golden fingerprint"),
 )
 
 
 @lint_pass(
     PASS_NAME,
     RULES,
-    "every SMStats counter must be pinned by the golden fingerprint",
+    "every Metric declared fingerprint=True must be pinned by the "
+    "golden fingerprint",
 )
 def run(project: Project) -> Iterable[Finding]:
-    stats_entry = project.find_class(STATS_CLASS)
+    declarations: list[tuple[SourceFile, str, int]] = []
+    seen: set[str] = set()
+    for src in project.files:
+        for name, fingerprint, line in _metric_declarations(src):
+            if fingerprint and name not in seen:
+                seen.add(name)
+                declarations.append((src, name, line))
     fp_entry = project.find_function(FINGERPRINT_FN)
-    if stats_entry is None or fp_entry is None:
+    if not declarations or fp_entry is None:
         return
-    stats_src, stats_node = stats_entry
     _fp_src, fp_node = fp_entry
     reads = _attribute_reads(fp_node)
-    for field, line in sorted(_counter_fields(stats_node).items()):
-        if field not in reads:
+    for src, name, line in sorted(
+        declarations, key=lambda d: (d[0].relpath, d[2], d[1])
+    ):
+        if name not in reads:
             yield make_finding(
                 "stats-parity",
-                f"{STATS_CLASS}.{field} is a counter but "
+                f"Metric {name!r} is declared fingerprint=True but "
                 f"{FINGERPRINT_FN} never reads it: the golden "
                 "equivalence gate cannot see regressions in it",
-                stats_src, line, PASS_NAME,
+                src, line, PASS_NAME,
             )

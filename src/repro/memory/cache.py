@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.metrics import Metric, MetricSet
+
 
 @dataclass(slots=True)
 class CacheLine:
@@ -42,15 +44,27 @@ class CacheLine:
 EvictionHook = Callable[[int, CacheLine], None]
 
 
-@dataclass(slots=True)
-class CacheStats:
-    hits: int = 0
-    misses: int = 0
-    cold_misses: int = 0
-    capacity_conflict_misses: int = 0
-    evictions: int = 0
-    write_hits: int = 0
-    write_misses: int = 0
+#: Per-cache counters. None participate in the golden fingerprint
+#: directly — the fingerprint pins the SM-level l1_hits/l1_misses view.
+CACHE_STATS = MetricSet(
+    "CacheStats",
+    owner="memory.cache",
+    metrics=(
+        Metric("hits", description="lookup hits"),
+        Metric("misses", description="lookup misses"),
+        Metric("cold_misses", description="misses to never-seen lines"),
+        Metric("capacity_conflict_misses", description="misses to previously resident lines"),
+        Metric("evictions", description="valid lines replaced"),
+        Metric("write_hits", description="store hits"),
+        Metric("write_misses", description="store misses"),
+    ),
+)
+
+_CacheStatsBase = CACHE_STATS.build()
+
+
+class CacheStats(_CacheStatsBase):
+    __slots__ = ()
 
     @property
     def accesses(self) -> int:

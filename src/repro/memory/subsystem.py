@@ -8,21 +8,30 @@ reads, store writes, and Linebacker's register backup/restore traffic
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.config import GPUConfig
 from repro.memory.dram import DRAMModel
 from repro.memory.l2 import L2Cache
+from repro.metrics import Metric, MetricSet
+
+#: Off-chip traffic counters (line = 128 B granularity).
+TRAFFIC_STATS = MetricSet(
+    "TrafficStats",
+    owner="memory.subsystem",
+    metrics=(
+        Metric("demand_read_lines", description="demand reads missing L2", fingerprint=True),
+        Metric("store_write_lines", description="store write-throughs", fingerprint=True),
+        Metric("backup_write_lines", description="register backup writes", fingerprint=True),
+        Metric("restore_read_lines", description="register restore reads", fingerprint=True),
+    ),
+)
+
+_TrafficStatsBase = TRAFFIC_STATS.build()
 
 
-@dataclass
-class TrafficStats:
+class TrafficStats(_TrafficStatsBase):
     """Off-chip traffic in line (128 B) granularity."""
 
-    demand_read_lines: int = 0
-    store_write_lines: int = 0
-    backup_write_lines: int = 0
-    restore_read_lines: int = 0
+    __slots__ = ()
 
     @property
     def total_lines(self) -> int:

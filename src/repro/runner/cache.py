@@ -45,7 +45,9 @@ from repro.config import stable_hash
 
 #: Bump when the cached payload format changes (snapshot classes,
 #: pickled structure, ...). Old entries then miss and are re-simulated.
-CACHE_SCHEMA_VERSION = 1
+#: v2: SMSnapshot grew a ``timeseries`` field (opt-in WindowSeries
+#: payload recorded at window boundaries).
+CACHE_SCHEMA_VERSION = 2
 
 #: Sentinel distinguishing "entry absent" from a cached ``None``.
 MISS = object()

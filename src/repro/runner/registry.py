@@ -45,19 +45,32 @@ class ArchSpec:
     runner: Callable
     description: str = ""
     returns: str = "result"
+    #: Whether the runner accepts ``timeseries=True`` and threads it to
+    #: :func:`run_kernel` (the ``trace`` CLI and ``run --timeseries``
+    #: only pass the override to architectures that advertise it).
+    supports_timeseries: bool = False
 
 
 ARCHITECTURES: dict[str, ArchSpec] = {}
 
 
-def register(name: str, description: str = "", returns: str = "result"):
+def register(
+    name: str,
+    description: str = "",
+    returns: str = "result",
+    supports_timeseries: bool = False,
+):
     """Register a module-level run function as architecture ``name``."""
 
     def wrap(fn: Callable) -> Callable:
         # This *is* the module-level registration mechanism; the
         # decorator runs at import time, so workers re-register too.
         ARCHITECTURES[name] = ArchSpec(  # repro-lint: ignore[registry-local-runner]
-            name=name, runner=fn, description=description, returns=returns
+            name=name,
+            runner=fn,
+            description=description,
+            returns=returns,
+            supports_timeseries=supports_timeseries,
         )
         return fn
 
@@ -75,11 +88,14 @@ def resolve(name: str) -> ArchSpec:
 # ---------------------------------------------------------------------------
 # Architecture runners. Signature: run(config, kernel, **params).
 # ---------------------------------------------------------------------------
-@register("baseline", "stock GPU, no memory-path policy")
+@register("baseline", "stock GPU, no memory-path policy", supports_timeseries=True)
 def _run_baseline(
-    config: SimulationConfig, kernel: KernelTrace, track_loads: bool = False
+    config: SimulationConfig,
+    kernel: KernelTrace,
+    track_loads: bool = False,
+    timeseries: bool = False,
 ):
-    return run_kernel(config, kernel, track_loads=track_loads)
+    return run_kernel(config, kernel, track_loads=track_loads, timeseries=timeseries)
 
 
 @register("best_swl", "oracle static CTA-limit sweep", returns="best_swl")
@@ -87,56 +103,110 @@ def _run_best_swl(config: SimulationConfig, kernel: KernelTrace):
     return best_swl(config, kernel)
 
 
-@register("linebacker", "full Linebacker (throttling + selective victim cache)")
+@register(
+    "linebacker",
+    "full Linebacker (throttling + selective victim cache)",
+    supports_timeseries=True,
+)
 def _run_linebacker(
     config: SimulationConfig,
     kernel: KernelTrace,
     lb_config: Optional[LinebackerConfig] = None,
+    timeseries: bool = False,
 ):
     lb = lb_config or config.linebacker
-    return run_kernel(config, kernel, extension_factory=linebacker_factory(lb))
+    return run_kernel(
+        config,
+        kernel,
+        extension_factory=linebacker_factory(lb),
+        timeseries=timeseries,
+    )
 
 
-@register("victim_caching", "Fig 11: keep every victim, no throttling")
-def _run_victim_caching(config: SimulationConfig, kernel: KernelTrace):
+@register(
+    "victim_caching",
+    "Fig 11: keep every victim, no throttling",
+    supports_timeseries=True,
+)
+def _run_victim_caching(
+    config: SimulationConfig, kernel: KernelTrace, timeseries: bool = False
+):
     lb = replace(config.linebacker, enable_selective=False, enable_throttling=False)
-    return run_kernel(config, kernel, extension_factory=linebacker_factory(lb))
+    return run_kernel(
+        config,
+        kernel,
+        extension_factory=linebacker_factory(lb),
+        timeseries=timeseries,
+    )
 
 
-@register("selective_victim_caching", "Fig 11: SUR space only, no throttling")
-def _run_selective_victim_caching(config: SimulationConfig, kernel: KernelTrace):
+@register(
+    "selective_victim_caching",
+    "Fig 11: SUR space only, no throttling",
+    supports_timeseries=True,
+)
+def _run_selective_victim_caching(
+    config: SimulationConfig, kernel: KernelTrace, timeseries: bool = False
+):
     lb = replace(config.linebacker, enable_throttling=False)
-    return run_kernel(config, kernel, extension_factory=linebacker_factory(lb))
-
-
-@register("pcal", "PCAL bypass-token throttling (HPCA 2015)")
-def _run_pcal(config: SimulationConfig, kernel: KernelTrace):
     return run_kernel(
-        config, kernel, extension_factory=pcal_factory(config.linebacker)
+        config,
+        kernel,
+        extension_factory=linebacker_factory(lb),
+        timeseries=timeseries,
     )
 
 
-@register("cerf", "CERF unified RF/L1 caching (MICRO 2016)")
-def _run_cerf(config: SimulationConfig, kernel: KernelTrace):
+@register("pcal", "PCAL bypass-token throttling (HPCA 2015)", supports_timeseries=True)
+def _run_pcal(config: SimulationConfig, kernel: KernelTrace, timeseries: bool = False):
     return run_kernel(
-        config, kernel, extension_factory=cerf_factory(config.linebacker)
+        config,
+        kernel,
+        extension_factory=pcal_factory(config.linebacker),
+        timeseries=timeseries,
     )
 
 
-@register("pcal_svc", "Fig 15: PCAL bypass throttling + SUR victim cache")
-def _run_pcal_svc(config: SimulationConfig, kernel: KernelTrace):
+@register("cerf", "CERF unified RF/L1 caching (MICRO 2016)", supports_timeseries=True)
+def _run_cerf(config: SimulationConfig, kernel: KernelTrace, timeseries: bool = False):
+    return run_kernel(
+        config,
+        kernel,
+        extension_factory=cerf_factory(config.linebacker),
+        timeseries=timeseries,
+    )
+
+
+@register(
+    "pcal_svc",
+    "Fig 15: PCAL bypass throttling + SUR victim cache",
+    supports_timeseries=True,
+)
+def _run_pcal_svc(
+    config: SimulationConfig, kernel: KernelTrace, timeseries: bool = False
+):
     lb = replace(config.linebacker, enable_throttling=False)
     return run_kernel(
         config,
         kernel,
         extension_factory=linebacker_factory(lb, enable_bypass_throttling=True),
+        timeseries=timeseries,
     )
 
 
-@register("pcal_cerf", "Fig 15: PCAL bypass throttling over a CERF cache")
-def _run_pcal_cerf(config: SimulationConfig, kernel: KernelTrace):
+@register(
+    "pcal_cerf",
+    "Fig 15: PCAL bypass throttling over a CERF cache",
+    supports_timeseries=True,
+)
+def _run_pcal_cerf(
+    config: SimulationConfig, kernel: KernelTrace, timeseries: bool = False
+):
     return run_kernel(
-        config, kernel, extension_factory=PCALCERFFactory(config.linebacker)
+        config,
+        kernel,
+        extension_factory=PCALCERFFactory(config.linebacker),
+        timeseries=timeseries,
     )
 
 
@@ -153,9 +223,18 @@ def _run_best_swl_cache_ext(
     return run_swl_cache_ext(config, kernel, limit)
 
 
-@register("lb_cache_ext", "Fig 15: Linebacker over the idealized enlarged L1")
-def _run_lb_cache_ext(config: SimulationConfig, kernel: KernelTrace):
+@register(
+    "lb_cache_ext",
+    "Fig 15: Linebacker over the idealized enlarged L1",
+    supports_timeseries=True,
+)
+def _run_lb_cache_ext(
+    config: SimulationConfig, kernel: KernelTrace, timeseries: bool = False
+):
     cfg = config_with_cache_ext(config, kernel)
     return run_kernel(
-        cfg, kernel, extension_factory=linebacker_factory(cfg.linebacker)
+        cfg,
+        kernel,
+        extension_factory=linebacker_factory(cfg.linebacker),
+        timeseries=timeseries,
     )

@@ -25,6 +25,12 @@ makes it impossible for a bit-flipped payload to be silently accepted.
 The protocol is deliberately text-line based so a worker can sit
 behind any byte pipe (``ssh host python -m repro worker``, a container
 exec, a local subprocess) without framing negotiation.
+
+Payloads are opaque to the protocol: a portable result may carry
+opt-in extras such as per-window timeseries
+(:class:`~repro.metrics.WindowSeries`) without a protocol change —
+payload-shape versioning is owned by the result cache
+(``CACHE_SCHEMA_VERSION``), not the wire.
 """
 
 from __future__ import annotations

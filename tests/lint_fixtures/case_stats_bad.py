@@ -1,16 +1,19 @@
 """Seeded violation for the stats-parity pass: ``phantom_events`` is
-a counter the golden fingerprint never reads, so the equivalence gate
-would miss regressions in it."""
+declared ``fingerprint=True`` but the golden fingerprint never reads
+it, so the equivalence gate would miss regressions in it."""
 
-from dataclasses import dataclass
+from repro.metrics import Metric, MetricSet
 
-
-@dataclass(slots=True)
-class SMStats:
-    instructions: int = 0
-    loads: int = 0
-    victim_hits: int = 0
-    phantom_events: int = 0  # stats-parity: escapes the golden gate
+SM_STATS = MetricSet(
+    "SMStats",
+    owner="fixtures.stats_bad",
+    metrics=(
+        Metric("instructions", fingerprint=True),
+        Metric("loads", fingerprint=True),
+        Metric("victim_hits", fingerprint=True),
+        Metric("phantom_events", fingerprint=True),
+    ),
+)
 
 
 def result_fingerprint(result):

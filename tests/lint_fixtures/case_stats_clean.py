@@ -1,15 +1,18 @@
-"""Twin of ``case_stats_bad.py``: every counter is pinned by the
-fingerprint. Must lint clean."""
+"""Twin of ``case_stats_bad.py``: every fingerprint-declared metric
+is pinned by the fingerprint. Must lint clean."""
 
-from dataclasses import dataclass
+from repro.metrics import Metric, MetricSet
 
-
-@dataclass(slots=True)
-class SMStats:
-    instructions: int = 0
-    loads: int = 0
-    victim_hits: int = 0
-    phantom_events: int = 0
+SM_STATS = MetricSet(
+    "SMStats",
+    owner="fixtures.stats_clean",
+    metrics=(
+        Metric("instructions", fingerprint=True),
+        Metric("loads", fingerprint=True),
+        Metric("victim_hits", fingerprint=True),
+        Metric("phantom_events"),
+    ),
+)
 
 
 def result_fingerprint(result):
@@ -18,5 +21,4 @@ def result_fingerprint(result):
         "instructions": stats.instructions,
         "loads": stats.loads,
         "victim_hits": stats.victim_hits,
-        "phantom_events": stats.phantom_events,
     }

@@ -31,4 +31,52 @@ class TestCLI:
         assert "LI" in out
 
     def test_every_figure_registered(self):
-        assert set(FIGURES) == {f"fig{i}" for i in list(range(1, 6)) + list(range(9, 19))}
+        expected = {f"fig{i}" for i in list(range(1, 6)) + list(range(9, 19))}
+        assert set(FIGURES) == expected | {"dynamics"}
+
+
+class TestTraceCLI:
+    def test_trace_json_emits_window_rows(self, capsys):
+        assert main(
+            ["trace", "GE", "linebacker", "--json", "--scale", "0.1", "--sms", "1"]
+        ) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["app"] == "GE"
+        assert payload["arch"] == "linebacker"
+        assert payload["rows"], "expected at least one closed window"
+        window = payload["window_cycles"]
+        for row in payload["rows"]:
+            assert row["cycle"] % window == 0
+            for key in ("ipc", "active", "inactive", "vps", "state", "phase"):
+                assert key in row
+
+    def test_trace_text_table(self, capsys):
+        assert main(["trace", "GE", "--scale", "0.1", "--sms", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out and "VPs" in out
+        assert "final:" in out
+
+    def test_trace_output_file(self, tmp_path, capsys):
+        target = tmp_path / "trace.json"
+        assert main(
+            ["trace", "GE", "--json", "--scale", "0.1", "--sms", "1",
+             "--output", str(target)]
+        ) == 0
+        capsys.readouterr()
+        import json
+
+        assert json.loads(target.read_text())["app"] == "GE"
+
+    def test_trace_rejects_unknown_app(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "NOPE"])
+
+    def test_trace_rejects_arch_without_timeseries_support(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "GE", "best_swl"])
+
+    def test_trace_rejects_out_of_range_sm(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "GE", "--sms", "2", "--sm", "5"])

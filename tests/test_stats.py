@@ -24,6 +24,16 @@ class TestSMStats:
             "hit": 0.0, "miss": 0.0, "bypass": 0.0, "reg_hit": 0.0
         }
 
+    def test_request_breakdown_exact_fractions(self):
+        """Each category is its exact share of all L1 requests — the
+        stacked-bar fractions of paper Figure 18."""
+        s = SMStats(l1_hits=30, l1_misses=50, victim_hits=15, bypasses=5)
+        b = s.request_breakdown
+        assert b["hit"] == pytest.approx(0.30)
+        assert b["miss"] == pytest.approx(0.50)
+        assert b["reg_hit"] == pytest.approx(0.15)
+        assert b["bypass"] == pytest.approx(0.05)
+
 
 class TestLoadBehavior:
     def test_reuse_detection(self):
@@ -81,6 +91,22 @@ class TestLoadTracker:
         tracker.record(pc=0x100, line_addr=2, hit=False, cycle=150)  # new window
         tracker.close_window()
         assert len(tracker.window_reused_bytes[0x100]) == 2
+
+    def test_window_boundaries_stay_on_the_fixed_grid(self):
+        """Rolling over must re-anchor to a multiple of the window
+        size, not to the triggering access's cycle — otherwise sparse
+        access patterns silently stretch every subsequent window."""
+        tracker = LoadTracker(window_cycles=100)
+        tracker.record(pc=0x1, line_addr=1, hit=False, cycle=10)
+        # Crosses into [200, 300): closes window 1, anchors at 200.
+        tracker.record(pc=0x1, line_addr=1, hit=True, cycle=250)
+        assert tracker._window_start == 200
+        # 320 is past 300, so this must close window 2 — with drifting
+        # anchors (start = 250) it would land in the same window.
+        tracker.record(pc=0x1, line_addr=2, hit=False, cycle=320)
+        assert tracker._window_start == 300
+        tracker.close_window()
+        assert len(tracker.window_miss_ratios[0x1]) == 3
 
     def test_top_loads_reused_working_set(self):
         tracker = LoadTracker(window_cycles=1000)

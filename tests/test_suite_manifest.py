@@ -45,6 +45,7 @@ TEST_MODULES = {
     "test_linebacker_integration",
     "test_lint",
     "test_load_monitor",
+    "test_metrics",
     "test_mshr",
     "test_overhead",
     "test_power",
