@@ -28,13 +28,14 @@ def main() -> None:
 
     print(f"Running 5 architectures on {app} (this sweeps CTA limits "
           f"for the Best-SWL oracle; takes a minute or two)...")
-    best = ctx.best_swl(app)
+    ctx.prefetch(("baseline", "best_swl", "pcal", "cerf", "linebacker"))
+    best = ctx.run(app, "best_swl")
     results = {
-        "baseline": ctx.baseline(app).ipc,
+        "baseline": ctx.run(app, "baseline").ipc,
         f"best_swl (limit={best.best_limit})": best.ipc,
-        "pcal": ctx.pcal(app).ipc,
-        "cerf": ctx.cerf(app).ipc,
-        "linebacker": ctx.linebacker(app).ipc,
+        "pcal": ctx.run(app, "pcal").ipc,
+        "cerf": ctx.run(app, "cerf").ipc,
+        "linebacker": ctx.run(app, "linebacker").ipc,
     }
 
     print(format_series(f"{app}: IPC", results))
@@ -42,7 +43,7 @@ def main() -> None:
     print()
     print(format_series(f"{app}: normalized to Best-SWL (paper Fig. 12)", normalized))
 
-    lb = ctx.linebacker(app)
+    lb = ctx.run(app, "linebacker")
     print()
     print(format_series(f"{app}: Linebacker request breakdown (paper Fig. 13)",
                         lb.request_breakdown))

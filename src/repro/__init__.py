@@ -3,11 +3,15 @@ Victim Cache Lines in Idle Register Files of GPUs* (ISCA 2019).
 
 Public API highlights:
 
+* :mod:`repro.api` — the ``Session`` facade: ``Session.local()`` for
+  in-process sweeps, ``Session.connect(url)`` for a running
+  ``python -m repro serve`` coordinator; both return ``JobHandle``\\ s.
 * :func:`repro.gpu.run_kernel` — simulate one kernel on the baseline GPU.
 * :func:`repro.core.linebacker_factory` — attach Linebacker to the SMs.
 * :mod:`repro.baselines` — Best-SWL, PCAL, CERF, CacheExt comparisons.
 * :mod:`repro.workloads` — the 20-application synthetic suite.
 * :mod:`repro.analysis` — one runner per paper table/figure.
+* :mod:`repro.service` — the HTTP coordinator + persistent worker fleet.
 """
 
 from repro.config import (

@@ -7,6 +7,9 @@ Usage:
     python -m repro run fig12 --executor remote --hosts a,b,c \\
         --worker-command "ssh {host} python -m repro worker"
     python -m repro worker --cache-dir /shared/cache --shared-cache
+    python -m repro serve --port 8642 --workers 2
+    python -m repro submit --url http://127.0.0.1:8642 --apps S2,LI \\
+        --arch linebacker --scale 0.25
     python -m repro overhead
     python -m repro trace GE linebacker --json
     python -m repro run dynamics --timeseries
@@ -33,6 +36,12 @@ runs them locally, an ``ssh {host} ...`` template crosses machines),
 or ``loopback`` (the remote wire protocol, round-tripped in-process —
 deterministic, great for debugging). ``python -m repro worker`` is the
 process on the other end of that wire.
+
+``python -m repro serve`` promotes that machinery into an always-on
+HTTP service: a coordinator with a persistent worker fleet and a
+shared read-through result cache, deduplicating concurrent submissions
+by content hash. ``python -m repro submit`` is the matching client
+(programmatic callers use ``repro.api.Session.connect``).
 """
 
 from __future__ import annotations
@@ -186,6 +195,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve simulation jobs over stdin/stdout (wire protocol)",
     )
     worker_p.add_argument("rest", nargs=argparse.REMAINDER)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the HTTP coordinator with a persistent worker fleet",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1; the service "
+                         "trusts its network — do not expose it publicly)")
+    serve_p.add_argument("--port", type=int, default=None,
+                         help="TCP port (default 8642; 0 picks a free port)")
+    serve_p.add_argument("--workers", type=int, default=2,
+                         help="persistent worker processes (default 2)")
+    serve_p.add_argument("--cache-dir", default=None,
+                         help="shared result-cache directory (default: "
+                         "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    serve_p.add_argument("--no-cache", action="store_true",
+                         help="serve without the shared result store")
+    serve_p.add_argument("--job-timeout", type=float, default=None,
+                         help="seconds before an in-flight job's worker is "
+                         "recycled and the job requeued")
+    serve_p.add_argument("--worker-command", default=None,
+                         help="worker launch template; {python} and {host} "
+                         "are substituted")
+
+    submit_p = sub.add_parser(
+        "submit", help="submit jobs to a running coordinator over HTTP"
+    )
+    submit_p.add_argument("--url", required=True,
+                          help="coordinator endpoint, e.g. http://127.0.0.1:8642")
+    submit_p.add_argument("--apps", default="S2",
+                          help="comma-separated apps (default S2)")
+    submit_p.add_argument("--arch", default="linebacker",
+                          help="registered architecture (default linebacker)")
+    submit_p.add_argument("--scale", type=float, default=0.5,
+                          help="workload scale")
+    submit_p.add_argument("--sms", type=int, default=4, help="number of SMs")
+    submit_p.add_argument("--timeseries", action="store_true",
+                          help="request per-window timeseries recording")
+    submit_p.add_argument("--no-wait", action="store_true",
+                          help="print job ids and exit without polling")
+    submit_p.add_argument("--timeout", type=float, default=600.0,
+                          help="seconds to wait for results (default 600)")
+    submit_p.add_argument("--json", dest="json_path", default=None,
+                          help="write the submission/result report to this path")
+    submit_p.add_argument("--fleet-report", default=None,
+                          help="write the service's /v1/fleet JSON to this path")
 
     list_p = sub.add_parser("list", help="list figures (and architectures)")
     list_p.add_argument(
@@ -410,6 +465,121 @@ def _cmd_trace(args, parser: argparse.ArgumentParser) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import signal
+
+    from repro.service import DEFAULT_PORT
+    from repro.service import serve as service_serve
+
+    port = args.port if args.port is not None else DEFAULT_PORT
+    server = service_serve(
+        host=args.host,
+        port=port,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        worker_command=args.worker_command,
+        job_timeout=args.job_timeout,
+    )
+
+    # Shells start background children with SIGINT ignored, and Python
+    # keeps an inherited SIG_IGN — so `python -m repro serve &` would be
+    # unstoppable short of SIGKILL (which orphans the fleet). Install
+    # explicit handlers so Ctrl-C, `kill -INT` and `kill -TERM` all take
+    # the same graceful teardown path.
+    def _graceful(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGINT, _graceful)
+    signal.signal(signal.SIGTERM, _graceful)
+
+    host, bound_port = server.server_address[:2]
+    print(
+        f"serving on http://{host}:{bound_port} with {args.workers} "
+        f"worker(s), cache {'off' if args.no_cache else 'on'} "
+        "(Ctrl-C to stop)",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        server.coordinator.shutdown()
+        print("coordinator stopped, fleet torn down", file=sys.stderr)
+    return 0
+
+
+def _cmd_submit(args, parser: argparse.ArgumentParser) -> int:
+    import json
+
+    from repro.api import Session
+    from repro.runner.registry import ARCHITECTURES
+
+    apps = tuple(a for a in args.apps.split(",") if a)
+    unknown = set(apps) - set(ALL_APPS)
+    if unknown:
+        parser.error(f"unknown apps: {sorted(unknown)}")
+    if args.arch not in ARCHITECTURES:
+        parser.error(
+            f"unknown architecture {args.arch!r}; known: "
+            f"{', '.join(sorted(ARCHITECTURES))}"
+        )
+
+    from repro.options import RunOptions
+    from repro.service import ServiceError
+
+    if args.timeseries and not ARCHITECTURES[args.arch].supports_timeseries:
+        parser.error(
+            f"architecture {args.arch!r} does not support timeseries recording"
+        )
+    try:
+        session = Session.connect(
+            args.url,
+            config=scaled_config(num_sms=args.sms),
+            scale=args.scale,
+        )
+    except ServiceError as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 1
+    options = RunOptions(timeseries=args.timeseries)
+    handles = session.run_many(
+        [session.spec(app, args.arch, options=options) for app in apps]
+    )
+    report = {"url": args.url, "arch": args.arch, "scale": args.scale,
+              "jobs": []}
+    for app, handle in zip(apps, handles):
+        entry = {"app": app, "job_id": handle.job_id}
+        if args.no_wait:
+            entry["status"] = handle.status()
+        else:
+            result = handle.result(timeout=args.timeout)
+            status = session._client.status(handle.job_id)
+            entry["status"] = status["status"]
+            entry["source"] = status["source"]
+            entry["ipc"] = getattr(result, "ipc", None)
+            print(
+                f"{app:4s} {args.arch:16s} {entry['status']:6s} "
+                f"[{entry['source']:8s}] ipc={entry['ipc']:.4f}"
+            )
+        report["jobs"].append(entry)
+    if args.no_wait:
+        for entry in report["jobs"]:
+            print(f"{entry['app']:4s} {entry['job_id']} {entry['status']}")
+    if args.json_path:
+        with open(args.json_path, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"report written to {args.json_path}", file=sys.stderr)
+    if args.fleet_report:
+        with open(args.fleet_report, "w") as fh:
+            json.dump(session.stats, fh, indent=2, sort_keys=True)
+        print(f"fleet report written to {args.fleet_report}", file=sys.stderr)
+    return 0
+
+
 def _cmd_cache(args) -> int:
     cache = ResultCache(args.cache_dir)
     if args.action == "info":
@@ -485,7 +655,8 @@ def _cmd_run(args, parser: argparse.ArgumentParser) -> int:
 def main(argv: list[str] | None = None) -> int:
     argv = list(argv) if argv is not None else sys.argv[1:]
     # Historical alias: `python -m repro fig12 ...` == `run fig12 ...`.
-    known = ("run", "list", "overhead", "bench", "lint", "cache", "worker", "trace")
+    known = ("run", "list", "overhead", "bench", "lint", "cache", "worker",
+             "trace", "serve", "submit")
     if argv and argv[0] not in known and not argv[0].startswith("-"):
         argv = ["run", *argv]
     if argv and argv[0] == "lint":
@@ -511,6 +682,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_trace(args, parser)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args, parser)
     return _cmd_run(args, parser)
 
 

@@ -11,20 +11,17 @@ layers an in-process memo over the persistent on-disk result cache and
 simulates each configuration at most once per process, and a warm
 cache makes repeat runs near-instant.
 
-The one-method-per-architecture API (``ctx.baseline(app)``,
-``ctx.pcal(app)``, ...) survives as thin deprecated wrappers over
-``ctx.run``.
+The pre-registry one-method-per-architecture API (``ctx.baseline(app)``,
+``ctx.pcal(app)``, ...) was deprecated in PR 1 and has been removed;
+``ctx.run(app, arch)`` is the only spelling.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional
 
-from repro.baselines.swl import BestSWLResult
-from repro.config import LinebackerConfig, SimulationConfig, scaled_config
-from repro.gpu.gpu import SimulationResult
+from repro.config import SimulationConfig, scaled_config
 from repro.runner import ExperimentRunner, JobSpec
 from repro.runner.registry import resolve
 from repro.workloads.suite import ALL_APPS, kernel_for
@@ -91,75 +88,6 @@ class ExperimentContext:
         """Warm the memo for ``archs`` x ``apps`` in one parallel wave."""
         targets = tuple(apps) if apps is not None else self.apps
         self.run_many([(app, arch) for app in targets for arch in archs])
-
-    # -- deprecated one-method-per-architecture wrappers ---------------------
-    @staticmethod
-    def _deprecated(name: str, replacement: str) -> None:
-        warnings.warn(
-            f"ExperimentContext.{name}() is deprecated; use {replacement}",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-
-    def baseline(self, app: str, track_loads: bool = False) -> SimulationResult:
-        self._deprecated("baseline", "ctx.run(app, 'baseline')")
-        if track_loads:
-            return self.run(app, "baseline", track_loads=True)
-        return self.run(app, "baseline")
-
-    def best_swl(self, app: str) -> BestSWLResult:
-        self._deprecated("best_swl", "ctx.run(app, 'best_swl')")
-        return self.run(app, "best_swl")
-
-    def linebacker(
-        self, app: str, lb_config: Optional[LinebackerConfig] = None
-    ) -> SimulationResult:
-        self._deprecated("linebacker", "ctx.run(app, 'linebacker')")
-        if lb_config is None:
-            return self.run(app, "linebacker")
-        return self.run(app, "linebacker", lb_config=lb_config)
-
-    def victim_caching(self, app: str) -> SimulationResult:
-        self._deprecated("victim_caching", "ctx.run(app, 'victim_caching')")
-        return self.run(app, "victim_caching")
-
-    def selective_victim_caching(self, app: str) -> SimulationResult:
-        self._deprecated(
-            "selective_victim_caching", "ctx.run(app, 'selective_victim_caching')"
-        )
-        return self.run(app, "selective_victim_caching")
-
-    def pcal(self, app: str) -> SimulationResult:
-        self._deprecated("pcal", "ctx.run(app, 'pcal')")
-        return self.run(app, "pcal")
-
-    def cerf(self, app: str) -> SimulationResult:
-        self._deprecated("cerf", "ctx.run(app, 'cerf')")
-        return self.run(app, "cerf")
-
-    def pcal_svc(self, app: str) -> SimulationResult:
-        self._deprecated("pcal_svc", "ctx.run(app, 'pcal_svc')")
-        return self.run(app, "pcal_svc")
-
-    def pcal_cerf(self, app: str) -> SimulationResult:
-        self._deprecated("pcal_cerf", "ctx.run(app, 'pcal_cerf')")
-        return self.run(app, "pcal_cerf")
-
-    def cache_ext(self, app: str) -> SimulationResult:
-        self._deprecated("cache_ext", "ctx.run(app, 'cache_ext')")
-        return self.run(app, "cache_ext")
-
-    def best_swl_cache_ext(self, app: str) -> SimulationResult:
-        self._deprecated(
-            "best_swl_cache_ext", "ctx.run(app, 'best_swl_cache_ext')"
-        )
-        limit = self.run(app, "best_swl").best_limit
-        return self.run(app, "best_swl_cache_ext", cta_limit=limit)
-
-    def lb_cache_ext(self, app: str) -> SimulationResult:
-        self._deprecated("lb_cache_ext", "ctx.run(app, 'lb_cache_ext')")
-        return self.run(app, "lb_cache_ext")
-
 
 def geomean(values) -> float:
     """Geometric mean (the paper's GM bars)."""

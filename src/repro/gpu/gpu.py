@@ -15,6 +15,7 @@ from typing import Callable, Optional
 
 from repro.config import WARP_REGISTER_BYTES, GPUConfig, SimulationConfig
 from repro.gpu.extension import SMExtension
+from repro.options import RunOptions
 from repro.gpu.sm import SM
 from repro.gpu.snapshot import snapshot_extension, snapshot_sm
 from repro.gpu.stats import SMStats
@@ -270,8 +271,14 @@ def run_kernel(
     track_loads: bool = False,
     keep_objects: bool = False,
     timeseries: bool = False,
+    options: Optional[RunOptions] = None,
 ) -> SimulationResult:
     """Convenience wrapper: build a GPU and run one kernel.
+
+    The canonical knob surface is ``options=RunOptions(...)``; the four
+    individual keywords remain as a compatibility shim for one release
+    and may not be combined with ``options`` (ambiguous intent raises
+    ``TypeError``).
 
     By default the result carries SM/extension *snapshots* (every
     statistic, the load tracker, Linebacker's monitor/VTT) rather than
@@ -281,12 +288,27 @@ def run_kernel(
     extensions (tests that poke at MSHRs or register files need this);
     the GPU object itself is discarded either way.
     """
+    if options is None:
+        options = RunOptions(
+            track_loads=track_loads,
+            keep_objects=keep_objects,
+            timeseries=timeseries,
+            max_concurrent_ctas=max_concurrent_ctas,
+        )
+    elif (
+        track_loads or keep_objects or timeseries
+        or max_concurrent_ctas is not None
+    ):
+        raise TypeError(
+            "run_kernel: pass either options=RunOptions(...) or the "
+            "legacy keywords, not both"
+        )
     gpu = GPU(
         config,
         kernel,
         extension_factory=extension_factory,
-        max_concurrent_ctas=max_concurrent_ctas,
-        track_loads=track_loads,
-        timeseries=timeseries,
+        max_concurrent_ctas=options.max_concurrent_ctas,
+        track_loads=options.track_loads,
+        timeseries=options.timeseries,
     )
-    return gpu.run(keep_objects=keep_objects)
+    return gpu.run(keep_objects=options.keep_objects)

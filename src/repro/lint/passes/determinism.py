@@ -23,9 +23,10 @@ flags the constructs that historically break that property:
   matched when CPython happened to reuse it.
 
 Scope: simulation-core packages only. Orchestration layers
-(:mod:`repro.runner`, :mod:`repro.analysis`, :mod:`repro.bench`,
-:mod:`repro.workloads`, :mod:`repro.power`, the CLI) legitimately read
-wall clocks for progress reporting, so they are skipped. Files outside
+(:mod:`repro.runner`, :mod:`repro.service`, :mod:`repro.analysis`,
+:mod:`repro.bench`, :mod:`repro.workloads`, :mod:`repro.power`, the
+CLI) legitimately read wall clocks for progress reporting, job
+deadlines and uptime counters, so they are skipped. Files outside
 the ``repro`` package (e.g. lint self-test fixtures) are always in
 scope.
 """
@@ -44,7 +45,7 @@ PASS_NAME = "determinism"
 #: repro subpackages (and top-level modules) outside the simulation
 #: core: wall clocks and host-dependent state are allowed there.
 _EXCLUDED_SUBPACKAGES = {
-    "analysis", "runner", "bench", "workloads", "power", "lint",
+    "analysis", "runner", "bench", "workloads", "power", "lint", "service",
 }
 _EXCLUDED_MODULES = {"__main__.py"}
 

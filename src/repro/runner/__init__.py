@@ -52,8 +52,14 @@ from repro.runner.snapshot import (
     portable_best_swl,
     portable_result,
 )
+from repro.options import RunOptions
 from repro.runner.spec import JobSpec
-from repro.runner.wire import PROTOCOL_VERSION, WireError, WireResult
+from repro.runner.wire import (
+    PROTOCOL_VERSION,
+    ProtocolMismatch,
+    WireError,
+    WireResult,
+)
 
 __all__ = [
     "ARCHITECTURES",
@@ -76,9 +82,11 @@ __all__ = [
     "MISS",
     "PROTOCOL_VERSION",
     "PoolExecutor",
+    "ProtocolMismatch",
     "RemoteExecutor",
     "RemoteJobError",
     "ResultCache",
+    "RunOptions",
     "RunnerStats",
     "SMSnapshot",
     "SharedDirectoryBackend",

@@ -19,9 +19,10 @@ two specs built from the same keyword arguments always hash equal.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Mapping
+from typing import Any, Mapping, Optional
 
 from repro.config import SimulationConfig, stable_hash
+from repro.options import RunOptions
 
 
 @dataclass(frozen=True)
@@ -42,13 +43,29 @@ class JobSpec:
         config: SimulationConfig,
         scale: float = 1.0,
         overrides: Mapping[str, Any] | None = None,
+        options: Optional[RunOptions] = None,
     ) -> "JobSpec":
-        params = tuple(sorted((overrides or {}).items()))
+        """Build a spec from overrides and/or a :class:`RunOptions`.
+
+        ``options`` folds its **non-default** fields into the params,
+        producing exactly the pairs the equivalent keyword overrides
+        would — content hashes are identical either way. Explicit
+        ``overrides`` win over ``options`` on key collisions.
+        """
+        merged = dict(options.to_overrides()) if options is not None else {}
+        merged.update(overrides or {})
+        params = tuple(sorted(merged.items()))
         return cls(app=app, arch=arch, config=config, scale=scale, params=params)
 
     @property
     def overrides(self) -> dict[str, Any]:
         return dict(self.params)
+
+    @property
+    def options(self) -> RunOptions:
+        """The :class:`RunOptions` view of this spec's params."""
+        opts, _ = RunOptions.from_overrides(self.overrides)
+        return opts
 
     @property
     def key(self) -> str:

@@ -53,6 +53,18 @@ class WireError(ValueError):
     """A line on the wire could not be decoded as a protocol message."""
 
 
+class ProtocolMismatch(WireError):
+    """The peer speaks a *different version* of the wire protocol.
+
+    Distinct from generic :class:`WireError` corruption: the line was a
+    well-formed hello from a real ``repro`` worker, just one built
+    against another protocol revision. Coordinators treat this as a
+    permanent condition for that worker binary (retrying cannot heal a
+    version skew) and report the actionable message instead of
+    recycling forever.
+    """
+
+
 def _pack(value: Any) -> dict:
     """Pickle ``value`` into a digest-protected transport dict."""
     data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
@@ -96,11 +108,45 @@ def _decode_envelope(line: str, expect: str) -> dict:
 
 # -- hello -----------------------------------------------------------------
 def encode_hello() -> str:
-    return json.dumps({"v": PROTOCOL_VERSION, "type": "hello", "pid": os.getpid()})
+    """The worker banner: envelope version, explicit ``proto``, pid.
+
+    ``proto`` duplicates the envelope ``v`` *by design*: the envelope
+    field guards every message against mis-parsing, while ``proto`` is
+    the negotiated protocol revision a coordinator checks once at
+    handshake so version skew between a long-lived coordinator and an
+    independently upgraded worker fleet fails with a clear, actionable
+    error instead of a generic corruption report on some later line.
+    """
+    return json.dumps(
+        {
+            "v": PROTOCOL_VERSION,
+            "type": "hello",
+            "proto": PROTOCOL_VERSION,
+            "pid": os.getpid(),
+        }
+    )
 
 
 def decode_hello(line: str) -> int:
-    """Validate a hello line; returns the worker pid."""
+    """Validate a hello line; returns the worker pid.
+
+    Raises :class:`ProtocolMismatch` (before any envelope check) when
+    the line *is* a hello but carries a different ``proto``, so the
+    caller can distinguish "wrong software version" from "garbage on
+    the pipe".
+    """
+    try:
+        peek = json.loads(line)
+    except (json.JSONDecodeError, TypeError):
+        peek = None
+    if isinstance(peek, dict) and peek.get("type") == "hello":
+        proto = peek.get("proto", peek.get("v"))
+        if proto != PROTOCOL_VERSION:
+            raise ProtocolMismatch(
+                f"worker speaks wire protocol {proto!r}, this side speaks "
+                f"{PROTOCOL_VERSION}; upgrade the older peer (coordinator "
+                "and worker fleets version independently of pickled payloads)"
+            )
     msg = _decode_envelope(line, "hello")
     pid = msg.get("pid")
     if not isinstance(pid, int):

@@ -1,0 +1,48 @@
+"""repro.service — simulation-as-a-service over HTTP/JSON.
+
+A long-lived :class:`Coordinator` owns a registered fleet of
+persistent ``python -m repro worker`` processes (the PR 4 wire
+protocol and fault tiers, kept warm) and a shared read-through result
+store, and serves versioned JSON ``JobSpec`` documents over a stdlib
+``ThreadingHTTPServer``. Start one with ``python -m repro serve``;
+talk to it with ``repro.api.Session.connect(url)``, ``python -m repro
+submit``, or plain ``curl``.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.coordinator import (
+    DEFAULT_PORT,
+    Coordinator,
+    Job,
+    ServiceHandler,
+    ServiceServer,
+    serve,
+)
+from repro.service.fleet import FleetWorker, WorkerFleet
+from repro.service.schema import (
+    JOB_SCHEMA_VERSION,
+    SchemaError,
+    decode_config,
+    decode_jobspec,
+    encode_config,
+    encode_jobspec,
+)
+
+__all__ = [
+    "Coordinator",
+    "DEFAULT_PORT",
+    "FleetWorker",
+    "JOB_SCHEMA_VERSION",
+    "Job",
+    "SchemaError",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceHandler",
+    "ServiceServer",
+    "WorkerFleet",
+    "decode_config",
+    "decode_jobspec",
+    "encode_config",
+    "encode_jobspec",
+    "serve",
+]

@@ -1,0 +1,448 @@
+"""The simulation coordinator: one warm fleet, many concurrent clients.
+
+:class:`Coordinator` owns three things:
+
+* a **job table** keyed by the spec's content hash — the same hash the
+  engine's memo and the persistent cache use, so *identity is content*:
+  two clients submitting the same (app, arch, config, scale, options)
+  get the same job id, and at most one simulation runs;
+* a :class:`~repro.service.fleet.WorkerFleet` of persistent
+  ``python -m repro worker`` processes (the execute tier), plus the
+  **degrade tier**: a job whose fleet attempts are exhausted is run
+  in-process on a fallback thread, mirroring the batch engine's
+  ``ExecutorUnavailable`` path;
+* a :class:`~repro.runner.cache.ResultCache` over
+  :class:`~repro.runner.cache.SharedDirectoryBackend` as the
+  **read-through result store** — a submit whose key is already cached
+  completes instantly, and workers write the same store as they finish,
+  so duplicates across coordinator restarts dedup too.
+
+:class:`ServiceHandler` exposes it over HTTP/JSON (stdlib
+``ThreadingHTTPServer``; handler threads only touch the lock-guarded
+job table, never worker pipes):
+
+========================================  ================================
+``POST /v1/jobs``                           submit one schema-versioned
+                                            JSON job document; returns
+                                            ``{job_id, status, cached,
+                                            coalesced}``
+``GET  /v1/jobs/{id}``                      status/provenance summary
+``GET  /v1/jobs/{id}/result``               the portable result payload,
+                                            pickled + base64 + SHA-256
+                                            (the wire protocol's
+                                            digest-protected box)
+``GET  /v1/jobs/{id}/timeseries``           per-window rows of a
+                                            ``timeseries=True`` run;
+                                            ``?sm=N&since=K`` for
+                                            incremental consumption
+``GET  /v1/fleet``                          fleet + coordinator health
+``GET  /v1/healthz``                        liveness + protocol versions
+========================================  ================================
+
+Trust model: result payloads are *pickles* (digest-protected against
+corruption, not against attackers), exactly like the worker wire
+protocol. The service is for trusted networks — bind it to loopback or
+a private interface, never the open internet.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional
+from urllib.parse import parse_qs, urlparse
+
+from repro.runner.cache import MISS, ResultCache, SharedDirectoryBackend
+from repro.runner.executors import JobOutcome
+from repro.runner.spec import JobSpec
+from repro.runner.wire import PROTOCOL_VERSION, _pack
+from repro.service.fleet import WorkerFleet
+from repro.service.schema import JOB_SCHEMA_VERSION, SchemaError, decode_jobspec
+
+#: Default TCP port; "VC" on a phone keypad would be a stretch — it is
+#: simply a high port unlikely to collide with anything common.
+DEFAULT_PORT = 8642
+
+JOB_STATES = ("queued", "running", "done", "failed")
+
+
+@dataclass
+class Job:
+    """One logical simulation, however many clients asked for it."""
+
+    id: str
+    spec: JobSpec
+    status: str = "queued"
+    payload: Any = None
+    error: str = ""
+    source: str = ""  # "cache" | "fleet" | "degraded"
+    seconds: float = 0.0
+    submits: int = 1
+    created: float = field(default_factory=time.time)
+    finished: Optional[float] = None
+
+    def summary(self) -> dict:
+        return {
+            "job_id": self.id,
+            "label": self.spec.label,
+            "app": self.spec.app,
+            "arch": self.spec.arch,
+            "scale": self.spec.scale,
+            "status": self.status,
+            "source": self.source,
+            "seconds": self.seconds,
+            "submits": self.submits,
+            "error": self.error,
+            "created": self.created,
+            "finished": self.finished,
+        }
+
+
+class Coordinator:
+    """Job table + fleet + shared cache; the service's single brain."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        cache_dir: "str | None" = None,
+        use_cache: bool = True,
+        worker_command: Optional[str] = None,
+        job_timeout: Optional[float] = None,
+        max_attempts: int = 3,
+        backoff: float = 0.05,
+    ) -> None:
+        backend = SharedDirectoryBackend(cache_dir)
+        self.cache = ResultCache(backend=backend) if use_cache else None
+        self.fleet = WorkerFleet(
+            size=workers,
+            command=worker_command,
+            cache_dir=(str(backend.root) if use_cache else None),
+            job_timeout=job_timeout,
+            max_attempts=max_attempts,
+            backoff=backoff,
+            on_outcome=self._on_outcome,
+        )
+        self._jobs: dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._done = threading.Condition(self._lock)
+        self.started_at = time.time()
+        self.degraded = 0
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> None:
+        self.fleet.start()
+
+    def shutdown(self) -> None:
+        self.fleet.shutdown()
+
+    # -- submission ------------------------------------------------------
+    def submit(self, spec: JobSpec) -> tuple[Job, bool, bool]:
+        """Register one spec; returns ``(job, coalesced, cached)``.
+
+        Content-hash identity does the dedup: a second submission of an
+        in-flight or finished key only bumps ``submits``.
+        """
+        key = spec.key
+        with self._lock:
+            job = self._jobs.get(key)
+            if job is not None:
+                job.submits += 1
+                return job, True, job.source == "cache"
+            if self.cache is not None:
+                payload = self.cache.get(self.cache.key_for(spec))
+                if payload is not MISS:
+                    job = Job(
+                        id=key, spec=spec, status="done", payload=payload,
+                        source="cache", finished=time.time(),
+                    )
+                    self._jobs[key] = job
+                    return job, False, True
+            job = Job(id=key, spec=spec)
+            self._jobs[key] = job
+            job.status = "running"
+        self.fleet.submit(key, spec)
+        return job, False, False
+
+    # -- completion ------------------------------------------------------
+    def _on_outcome(self, outcome: JobOutcome) -> None:
+        """Fleet callback (dispatcher thread)."""
+        if outcome.give_up:
+            # Degrade tier: the fleet is out of attempts for this job;
+            # run it in-process so the client still gets an answer.
+            threading.Thread(
+                target=self._run_degraded,
+                args=(outcome.key,),
+                name=f"degrade-{outcome.key[:8]}",
+                daemon=True,
+            ).start()
+            return
+        with self._lock:
+            job = self._jobs.get(outcome.key)
+            if job is None or job.status == "done":
+                return
+            if outcome.ok:
+                job.status = "done"
+                job.payload = outcome.payload
+                job.seconds = outcome.seconds
+                job.source = job.source or "fleet"
+            else:
+                job.status = "failed"
+                job.error = outcome.error
+            job.finished = time.time()
+            self._done.notify_all()
+        if outcome.ok and self.cache is not None:
+            try:
+                self.cache.put(self.cache.key_for(job.spec), outcome.payload)
+            except Exception:
+                pass  # workers write the store too; a miss re-simulates
+
+    def _run_degraded(self, key: str) -> None:
+        from repro.runner.engine import execute_job
+
+        with self._lock:
+            job = self._jobs.get(key)
+            if job is None or job.status in ("done", "failed"):
+                return
+            spec = job.spec
+            job.source = "degraded"
+        self.degraded += 1
+        try:
+            payload, seconds = execute_job(spec)
+        except Exception as exc:
+            with self._lock:
+                job.status = "failed"
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.finished = time.time()
+                self._done.notify_all()
+            return
+        self._on_outcome(
+            JobOutcome(key=key, ok=True, payload=payload, seconds=seconds)
+        )
+
+    # -- queries ---------------------------------------------------------
+    def job(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> Optional[Job]:
+        """Block until ``job_id`` settles (done/failed) or timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while True:
+                job = self._jobs.get(job_id)
+                if job is None or job.status in ("done", "failed"):
+                    return job
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return job
+                self._done.wait(timeout=0.1 if remaining is None
+                                else min(0.1, remaining))
+
+    def stats(self) -> dict:
+        with self._lock:
+            jobs = list(self._jobs.values())
+        counts = {state: 0 for state in JOB_STATES}
+        submits = 0
+        for job in jobs:
+            counts[job.status] += 1
+            submits += job.submits
+        return {
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "jobs": counts,
+            "submits": submits,
+            "unique_jobs": len(jobs),
+            "coalesced": submits - len(jobs),
+            "degraded": self.degraded,
+            "cache_dir": str(self.cache.root) if self.cache else None,
+            "fleet": self.fleet.stats(),
+        }
+
+
+# ---------------------------------------------------------------------------
+# HTTP layer
+# ---------------------------------------------------------------------------
+class ServiceHandler(BaseHTTPRequestHandler):
+    """JSON-over-HTTP view of the coordinator (``/v1/...``)."""
+
+    #: Quieten the default per-request stderr logging.
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+    @property
+    def coordinator(self) -> Coordinator:
+        return self.server.coordinator  # type: ignore[attr-defined]
+
+    # -- plumbing --------------------------------------------------------
+    def _send_json(self, doc: dict, status: int = 200) -> None:
+        body = json.dumps(doc, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send_json({"error": message}, status=status)
+
+    def _read_body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise SchemaError("empty request body")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise SchemaError(f"request body is not JSON: {exc}") from None
+
+    # -- routes ----------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 (http.server naming)
+        parsed = urlparse(self.path)
+        if parsed.path != "/v1/jobs":
+            self._error(404, f"no such endpoint: POST {parsed.path}")
+            return
+        try:
+            spec = decode_jobspec(self._read_body())
+        except SchemaError as exc:
+            self._error(400, str(exc))
+            return
+        job, coalesced, cached = self.coordinator.submit(spec)
+        self._send_json(
+            {
+                "job_id": job.id,
+                "status": job.status,
+                "coalesced": coalesced,
+                "cached": cached,
+                "schema": JOB_SCHEMA_VERSION,
+            },
+            status=200 if coalesced or cached else 201,
+        )
+
+    def do_GET(self) -> None:  # noqa: N802
+        parsed = urlparse(self.path)
+        query = {k: v[-1] for k, v in parse_qs(parsed.query).items()}
+        parts = [p for p in parsed.path.split("/") if p]
+        if parts == ["v1", "healthz"]:
+            fleet = self.coordinator.fleet.stats()
+            self._send_json(
+                {
+                    "ok": True,
+                    "proto": PROTOCOL_VERSION,
+                    "schema": JOB_SCHEMA_VERSION,
+                    "workers_alive": fleet["alive"],
+                }
+            )
+            return
+        if parts == ["v1", "fleet"]:
+            self._send_json(self.coordinator.stats())
+            return
+        if len(parts) >= 3 and parts[:2] == ["v1", "jobs"]:
+            job = self.coordinator.job(parts[2])
+            if job is None:
+                self._error(404, f"unknown job {parts[2]!r}")
+                return
+            rest = parts[3:]
+            if not rest:
+                self._send_json(job.summary())
+                return
+            if rest == ["result"]:
+                self._job_result(job)
+                return
+            if rest == ["timeseries"]:
+                self._job_timeseries(job, query)
+                return
+        self._error(404, f"no such endpoint: GET {parsed.path}")
+
+    def _job_result(self, job: Job) -> None:
+        if job.status == "failed":
+            self._error(500, job.error or "job failed")
+            return
+        if job.status != "done":
+            self._send_json({"job_id": job.id, "status": job.status}, status=202)
+            return
+        self._send_json(
+            {
+                "job_id": job.id,
+                "status": "done",
+                "source": job.source,
+                "seconds": job.seconds,
+                "payload": _pack(job.payload),
+            }
+        )
+
+    def _job_timeseries(self, job: Job, query: dict) -> None:
+        if job.status == "failed":
+            self._error(500, job.error or "job failed")
+            return
+        if job.status != "done":
+            # In-flight: nothing recorded yet on this side of the wire.
+            # The contract is incremental (``since``), so clients just
+            # keep polling until rows appear.
+            self._send_json(
+                {"job_id": job.id, "status": job.status, "rows": [],
+                 "next": 0},
+                status=202,
+            )
+            return
+        try:
+            sm = int(query.get("sm", 0))
+            since = int(query.get("since", 0))
+        except ValueError:
+            self._error(400, "sm and since must be integers")
+            return
+        series_list = getattr(job.payload, "timeseries", None)
+        if not series_list:
+            self._error(
+                409,
+                "job did not record timeseries; submit with "
+                '{"options": {"timeseries": true}}',
+            )
+            return
+        if sm < 0 or sm >= len(series_list):
+            self._error(400, f"sm must be in [0, {len(series_list)})")
+            return
+        series = series_list[sm]
+        rows = list(series)[since:]
+        self._send_json(
+            {
+                "job_id": job.id,
+                "status": "done",
+                "sm": sm,
+                "window_cycles": series.window_cycles,
+                "dropped": series.dropped,
+                "rows": rows,
+                "next": since + len(rows),
+            }
+        )
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying its coordinator."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple, coordinator: Coordinator) -> None:
+        super().__init__(address, ServiceHandler)
+        self.coordinator = coordinator
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    coordinator: Optional[Coordinator] = None,
+    **coordinator_kwargs: Any,
+) -> ServiceServer:
+    """Build and start a service (fleet spawned, HTTP socket bound).
+
+    Returns the server; call ``serve_forever()`` on it (or drive it
+    from a thread in tests). The caller owns shutdown:
+    ``server.shutdown(); server.coordinator.shutdown()``.
+    """
+    coordinator = coordinator or Coordinator(**coordinator_kwargs)
+    server = ServiceServer((host, port), coordinator)
+    coordinator.start()
+    return server

@@ -1,0 +1,427 @@
+"""A registered fleet of persistent ``python -m repro worker`` processes.
+
+Where :class:`~repro.runner.executors.RemoteExecutor` is batch-shaped
+(spawn, drain one sweep, shut down — the engine calls ``poll()`` from
+its own loop), :class:`WorkerFleet` is *service*-shaped: workers are
+spawned once and stay warm across arbitrarily many jobs from
+arbitrarily many clients, and a dedicated dispatcher thread owns all
+fleet I/O so HTTP handler threads never touch a worker pipe. Finished
+jobs are delivered through an ``on_outcome`` callback (the
+coordinator's job table) instead of a poll return value.
+
+The wire contract and fault tiers are identical to the batch executor:
+
+* workers speak the digest-protected line protocol of
+  :mod:`repro.runner.wire` (hello first — including the ``proto``
+  version field — then one result line per job line);
+* a worker that dies, hangs past ``job_timeout``, emits garbage, or
+  greets with a mismatched protocol version is **recycled** (killed
+  and respawned) and its in-flight job **requeued** with bounded
+  attempts and linear backoff;
+* a job that exhausts its attempts comes back as a ``give_up``
+  :class:`~repro.runner.executors.JobOutcome` — the coordinator's
+  **degrade** tier then runs it in-process;
+* a remote *simulation* error is final and is reported as a failed
+  outcome (retrying a deterministic failure is pointless).
+
+Workers are launched with ``--cache-dir ... --shared-cache`` when the
+fleet is given a cache directory, so results land in the shared
+read-through store as they are produced and a requeued duplicate is a
+worker-side cache hit, not a second simulation.
+"""
+
+from __future__ import annotations
+
+import queue
+import shlex
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.runner.executors import (
+    DEFAULT_MAX_ATTEMPTS,
+    DEFAULT_WORKER_COMMAND,
+    JobOutcome,
+    _worker_env,
+)
+from repro.runner.spec import JobSpec
+from repro.runner.wire import (
+    ProtocolMismatch,
+    WireError,
+    decode_hello,
+    decode_result,
+    encode_job,
+)
+
+
+@dataclass
+class FleetWorker:
+    """Book-keeping for one persistent worker process."""
+
+    wid: int
+    host: str
+    proc: subprocess.Popen
+    #: Key of the dispatched job, or ``None`` when idle.
+    job_key: Optional[str] = None
+    #: The queued-job record behind ``job_key`` (attempt counter lives
+    #: there so a recycle can requeue with the right budget).
+    current_job: "Optional[_QueuedJob]" = None
+    deadline: Optional[float] = None
+    greeted: bool = False
+    recycled: bool = False
+    jobs_done: int = 0
+    spawned_at: float = field(default_factory=time.monotonic)
+
+    @property
+    def alive(self) -> bool:
+        return not self.recycled and self.proc.poll() is None
+
+    def to_dict(self) -> dict:
+        return {
+            "wid": self.wid,
+            "host": self.host,
+            "pid": self.proc.pid,
+            "alive": self.alive,
+            "greeted": self.greeted,
+            "busy": self.job_key is not None,
+            "job": self.job_key,
+            "jobs_done": self.jobs_done,
+            "uptime_seconds": round(time.monotonic() - self.spawned_at, 3),
+        }
+
+
+@dataclass
+class _QueuedJob:
+    key: str
+    spec: JobSpec
+    attempt: int = 1
+    not_before: float = 0.0
+
+
+class WorkerFleet:
+    """Persistent workers + the dispatcher thread that feeds them.
+
+    Parameters mirror :class:`~repro.runner.executors.RemoteExecutor`
+    where they overlap; ``on_outcome`` is called (from the dispatcher
+    thread) with one :class:`JobOutcome` per finished job.
+    """
+
+    def __init__(
+        self,
+        size: int = 2,
+        hosts: Optional[list] = None,
+        command: Optional[str] = None,
+        cache_dir: "str | None" = None,
+        job_timeout: Optional[float] = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        backoff: float = 0.05,
+        on_outcome: Optional[Callable[[JobOutcome], None]] = None,
+    ) -> None:
+        self.hosts = list(hosts) if hosts else ["local"] * max(1, size)
+        self.command = command or self._default_command(cache_dir)
+        self.cache_dir = cache_dir
+        self.job_timeout = job_timeout
+        self.max_attempts = max(1, max_attempts)
+        self.backoff = backoff
+        self.on_outcome = on_outcome or (lambda outcome: None)
+
+        self._workers: dict[int, FleetWorker] = {}
+        self._events: "queue.Queue[tuple[int, str, str]]" = queue.Queue()
+        self._backlog: deque[_QueuedJob] = deque()
+        self._lock = threading.Lock()
+        self._next_wid = 0
+        self._stop = threading.Event()
+        self._spawn_failures = 0
+        # Health counters (surfaced by /v1/fleet).
+        self.dispatched = 0
+        self.completed = 0
+        self.requeued = 0
+        self.retried = 0
+        self.worker_deaths = 0
+        self.give_ups = 0
+        self._thread: Optional[threading.Thread] = None
+
+    @staticmethod
+    def _default_command(cache_dir: "str | None") -> str:
+        if cache_dir is None:
+            return DEFAULT_WORKER_COMMAND
+        return (
+            DEFAULT_WORKER_COMMAND
+            + f" --cache-dir {shlex.quote(str(cache_dir))} --shared-cache"
+        )
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> None:
+        with self._lock:
+            for host in self.hosts:
+                self._spawn(host)
+        self._thread = threading.Thread(
+            target=self._dispatch_loop, name="fleet-dispatch", daemon=True
+        )
+        self._thread.start()
+
+    def shutdown(self, grace: float = 2.0) -> None:
+        """Stop dispatching, close stdin pipes (worker EOF = shutdown),
+        then kill stragglers. Leaves no orphaned processes behind."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=grace)
+        with self._lock:
+            workers = list(self._workers.values())
+        for worker in workers:
+            try:
+                if worker.proc.stdin:
+                    worker.proc.stdin.close()
+            except OSError:
+                pass
+        deadline = time.monotonic() + grace
+        for worker in workers:
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                worker.proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                worker.proc.kill()
+                try:
+                    worker.proc.wait(timeout=grace)
+                except (subprocess.TimeoutExpired, OSError):
+                    pass
+            except OSError:
+                pass
+
+    # -- spawning --------------------------------------------------------
+    def _argv(self, host: str) -> list:
+        return shlex.split(self.command.format(python=sys.executable, host=host))
+
+    def _spawn(self, host: str) -> Optional[FleetWorker]:
+        """Launch one worker (caller holds the lock)."""
+        try:
+            proc = subprocess.Popen(
+                self._argv(host),
+                stdin=subprocess.PIPE,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.DEVNULL,
+                text=True,
+                bufsize=1,
+                env=_worker_env(),
+            )
+        except (OSError, ValueError):
+            self._spawn_failures += 1
+            return None
+        wid = self._next_wid
+        self._next_wid += 1
+        worker = FleetWorker(wid=wid, host=host, proc=proc)
+        self._workers[wid] = worker
+        threading.Thread(
+            target=self._read_loop,
+            args=(wid, proc),
+            name=f"fleet-read-{wid}",
+            daemon=True,
+        ).start()
+        return worker
+
+    def _read_loop(self, wid: int, proc: subprocess.Popen) -> None:
+        try:
+            for line in proc.stdout:
+                self._events.put((wid, "line", line))
+        except (OSError, ValueError):
+            pass
+        self._events.put((wid, "eof", ""))
+
+    def _ensure_workers(self) -> None:
+        """Respawn until one worker per host entry is alive (locked)."""
+        alive = sum(1 for w in self._workers.values() if w.alive)
+        for host in self.hosts[alive:]:
+            if self._spawn_failures >= len(self.hosts) * self.max_attempts:
+                break  # an unlaunchable template cannot fork-bomb the box
+            self._spawn(host)
+
+    # -- dispatch --------------------------------------------------------
+    def submit(self, key: str, spec: JobSpec) -> None:
+        """Enqueue one job (thread-safe; any thread may call)."""
+        with self._lock:
+            self._backlog.append(_QueuedJob(key=key, spec=spec))
+        # Nudge the dispatcher without waiting for its poll timeout.
+        self._events.put((-1, "wake", ""))
+
+    def _recycle(self, worker: FleetWorker, reason: str) -> None:
+        worker.recycled = True
+        try:
+            worker.proc.kill()
+        except OSError:
+            pass
+        self.worker_deaths += 1
+        if worker.job_key is not None:
+            key, job = worker.job_key, worker.current_job
+            worker.job_key = None
+            worker.current_job = None
+            worker.deadline = None
+            self._requeue(key, job, reason)
+        with self._lock:
+            self._ensure_workers()
+
+    def _requeue(self, key: str, job: _QueuedJob, reason: str) -> None:
+        if job.attempt >= self.max_attempts:
+            self.give_ups += 1
+            self.on_outcome(
+                JobOutcome(
+                    key=key, ok=False, give_up=True,
+                    error=f"{reason}; gave up after {job.attempt} attempts",
+                )
+            )
+            return
+        self.requeued += 1
+        with self._lock:
+            self._backlog.append(
+                _QueuedJob(
+                    key=key,
+                    spec=job.spec,
+                    attempt=job.attempt + 1,
+                    not_before=time.monotonic() + self.backoff * job.attempt,
+                )
+            )
+
+    def _dispatch_ready(self) -> None:
+        now = time.monotonic()
+        with self._lock:
+            idle = deque(
+                w for w in self._workers.values()
+                if w.alive and w.greeted and w.job_key is None
+            )
+            pending = len(self._backlog)
+            picked: list[tuple[FleetWorker, _QueuedJob]] = []
+            for _ in range(pending):
+                if not idle:
+                    break
+                job = self._backlog.popleft()
+                if job.not_before > now:
+                    self._backlog.append(job)
+                    continue
+                picked.append((idle.popleft(), job))
+        for worker, job in picked:
+            if job.attempt > 1:
+                self.retried += 1
+            worker.job_key = job.key
+            worker.current_job = job
+            worker.deadline = (
+                now + self.job_timeout if self.job_timeout else None
+            )
+            self.dispatched += 1
+            try:
+                worker.proc.stdin.write(encode_job(job.key, job.spec) + "\n")
+                worker.proc.stdin.flush()
+            except (OSError, ValueError):
+                self._recycle(worker, "worker pipe broke on dispatch")
+
+    def _handle_line(self, worker: FleetWorker, line: str) -> None:
+        line = line.strip()
+        if not line:
+            return
+        if not worker.greeted:
+            try:
+                decode_hello(line)
+            except ProtocolMismatch as exc:
+                # Version skew is permanent for this binary; recycling
+                # would spin. Park the worker and surface the reason.
+                worker.recycled = True
+                try:
+                    worker.proc.kill()
+                except OSError:
+                    pass
+                self.worker_deaths += 1
+                self.last_error = str(exc)
+                return
+            except WireError:
+                self._recycle(
+                    worker, f"worker spoke garbage instead of hello: {line[:80]!r}"
+                )
+                return
+            worker.greeted = True
+            return
+        try:
+            result = decode_result(line)
+        except WireError as exc:
+            self._recycle(worker, f"corrupted result line ({exc})")
+            return
+        if worker.job_key is None or result.key != worker.job_key:
+            self._recycle(
+                worker, f"result for unexpected key {result.key[:12]!r}"
+            )
+            return
+        key = worker.job_key
+        worker.job_key = None
+        worker.current_job = None
+        worker.deadline = None
+        worker.jobs_done += 1
+        self.completed += 1
+        if result.ok:
+            self.on_outcome(
+                JobOutcome(
+                    key=key, ok=True, payload=result.payload,
+                    seconds=result.seconds,
+                )
+            )
+        else:
+            # Remote simulation error: final, no retry.
+            self.on_outcome(JobOutcome(key=key, ok=False, error=result.error))
+
+    def _check_deadlines(self) -> None:
+        if not self.job_timeout:
+            return
+        now = time.monotonic()
+        for worker in list(self._workers.values()):
+            if worker.alive and worker.deadline and worker.deadline <= now:
+                self._recycle(
+                    worker, f"job exceeded timeout of {self.job_timeout}s"
+                )
+
+    def _dispatch_loop(self) -> None:
+        while not self._stop.is_set():
+            self._dispatch_ready()
+            try:
+                wid, kind, line = self._events.get(timeout=0.1)
+            except queue.Empty:
+                self._check_deadlines()
+                with self._lock:
+                    if self._backlog:
+                        self._ensure_workers()
+                continue
+            if kind == "line":
+                worker = self._workers.get(wid)
+                if worker is not None and not worker.recycled:
+                    self._handle_line(worker, line)
+            elif kind == "eof":
+                worker = self._workers.get(wid)
+                if worker is not None and not worker.recycled:
+                    self._recycle(worker, "worker died")
+            # "wake" events only interrupt the get() so new submissions
+            # dispatch immediately.
+
+    # -- observability ---------------------------------------------------
+    #: Last permanent fleet-level error (e.g. a protocol mismatch).
+    last_error: str = ""
+
+    def stats(self) -> dict:
+        with self._lock:
+            workers = [w.to_dict() for w in self._workers.values() if not w.recycled]
+            backlog = len(self._backlog)
+        return {
+            "size": len(self.hosts),
+            "alive": sum(1 for w in workers if w["alive"]),
+            "backlog": backlog,
+            "dispatched": self.dispatched,
+            "completed": self.completed,
+            "retried": self.retried,
+            "requeued": self.requeued,
+            "worker_deaths": self.worker_deaths,
+            "give_ups": self.give_ups,
+            "last_error": self.last_error,
+            "workers": workers,
+        }
+
+    def worker_pids(self) -> list:
+        """PIDs of every process the fleet ever spawned (orphan audit)."""
+        return [w.proc.pid for w in self._workers.values()]

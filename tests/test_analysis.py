@@ -51,19 +51,19 @@ class TestFormatting:
 
 class TestContext:
     def test_baseline_memoized(self, tiny_ctx):
-        first = tiny_ctx.baseline("S2")
-        second = tiny_ctx.baseline("S2")
+        first = tiny_ctx.run("S2", "baseline")
+        second = tiny_ctx.run("S2", "baseline")
         assert first is second
 
     def test_kernel_memoized(self, tiny_ctx):
         assert tiny_ctx.kernel("S2") is tiny_ctx.kernel("S2")
 
     def test_linebacker_distinct_from_baseline(self, tiny_ctx):
-        assert tiny_ctx.linebacker("S2") is not tiny_ctx.baseline("S2")
+        assert tiny_ctx.run("S2", "linebacker") is not tiny_ctx.run("S2", "baseline")
 
     def test_ablation_configs_memoized_separately(self, tiny_ctx):
-        vc = tiny_ctx.victim_caching("S2")
-        svc = tiny_ctx.selective_victim_caching("S2")
+        vc = tiny_ctx.run("S2", "victim_caching")
+        svc = tiny_ctx.run("S2", "selective_victim_caching")
         assert vc is not svc
 
 

@@ -61,18 +61,18 @@ class TestCERFRaceHandling:
 
 class TestFig15Combos:
     def test_pcal_svc_bypasses_and_reg_hits(self, tiny_ctx):
-        result = tiny_ctx.pcal_svc("S2")
+        result = tiny_ctx.run("S2", "pcal_svc")
         breakdown = result.request_breakdown
         assert breakdown["bypass"] > 0 or breakdown["reg_hit"] >= 0
 
     def test_pcal_cerf_runs_to_completion(self, tiny_ctx):
-        result = tiny_ctx.pcal_cerf("S2")
-        base = tiny_ctx.baseline("S2")
+        result = tiny_ctx.run("S2", "pcal_cerf")
+        base = tiny_ctx.run("S2", "baseline")
         assert result.instructions == base.instructions
 
     def test_lb_cache_ext_uses_bigger_l1(self, tiny_ctx):
-        result = tiny_ctx.lb_cache_ext("S2")
-        base = tiny_ctx.baseline("S2")
+        result = tiny_ctx.run("S2", "lb_cache_ext")
+        base = tiny_ctx.run("S2", "baseline")
         assert result.instructions == base.instructions
         # The enlarged L1 has more sets than the stock 48.
         assert result.sms[0].l1.num_sets >= base.sms[0].l1.num_sets

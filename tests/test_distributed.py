@@ -112,6 +112,31 @@ class TestWireProtocol:
     def test_hello_round_trip(self):
         assert decode_hello(encode_hello()) > 0
 
+    def test_hello_carries_proto_version(self):
+        msg = json.loads(encode_hello())
+        assert msg["proto"] == PROTOCOL_VERSION
+
+    def test_hello_proto_mismatch_is_protocol_mismatch(self):
+        from repro.runner.wire import ProtocolMismatch
+
+        msg = json.loads(encode_hello())
+        msg["proto"] = PROTOCOL_VERSION + 1
+        with pytest.raises(ProtocolMismatch, match="upgrade the older peer"):
+            decode_hello(json.dumps(msg))
+
+    def test_hello_without_proto_falls_back_to_envelope(self):
+        # A pre-``proto`` peer of the *same* envelope revision is still
+        # compatible (it predates the field, not the protocol); a
+        # different envelope revision is a mismatch either way.
+        from repro.runner.wire import ProtocolMismatch
+
+        msg = json.loads(encode_hello())
+        del msg["proto"]
+        assert decode_hello(json.dumps(msg)) > 0
+        msg["v"] = PROTOCOL_VERSION + 1
+        with pytest.raises(ProtocolMismatch):
+            decode_hello(json.dumps(msg))
+
     def test_not_json_is_wire_error(self):
         for line in ("%%% garbage %%%", "", "42", '"a string"', "[1,2]"):
             with pytest.raises(WireError):

@@ -252,14 +252,15 @@ class TestContextDelegation:
         second = ctx_b.run("S2", "best_swl")
         assert first is second  # one sweep, memo-shared by content hash
 
-    def test_wrapper_and_registry_share_results(self, tmp_path):
+    def test_removed_wrapper_methods_are_gone(self, tmp_path):
+        # The one-method-per-architecture API was deprecated in PR 1 and
+        # removed in PR 6; the registry spelling is the only one left.
         ctx = ExperimentContext(
             config=CFG, scale=0.1, apps=("S2",), runner=make_runner(tmp_path)
         )
-        via_registry = ctx.run("S2", "baseline")
-        with pytest.deprecated_call():
-            via_wrapper = ctx.baseline("S2")
-        assert via_wrapper is via_registry
+        for legacy in ("baseline", "linebacker", "pcal_svc", "cache_ext"):
+            assert not hasattr(ctx, legacy)
+        assert ctx.run("S2", "baseline") is ctx.run("S2", "baseline")
 
     def test_portable_results_support_analysis_surface(self, tmp_path):
         ctx = ExperimentContext(

@@ -1,0 +1,372 @@
+"""Service-layer tests: the HTTP coordinator over a real worker fleet.
+
+Every end-to-end scenario runs against an actual ``ThreadingHTTPServer``
+on a loopback socket with genuine ``python -m repro worker``
+subprocesses behind it — no mocked transports. The invariants mirror
+the distributed suite's: a submission either completes with results
+bit-identical to in-process execution (pinned via the golden
+fingerprint helpers) or surfaces a *simulation* error; no
+infrastructure fault may wedge the service or smuggle in a wrong
+payload, and no worker process may outlive its fleet.
+"""
+
+import json
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+from fault_injection import flaky_worker_command  # noqa: E402
+from golden import fingerprint_value  # noqa: E402
+from repro.api import Session  # noqa: E402
+from repro.config import scaled_config  # noqa: E402
+from repro.options import RunOptions  # noqa: E402
+from repro.runner import ExperimentRunner, JobSpec, RemoteJobError  # noqa: E402
+from repro.service import (  # noqa: E402
+    JOB_SCHEMA_VERSION,
+    Coordinator,
+    SchemaError,
+    ServiceClient,
+    ServiceError,
+    decode_jobspec,
+    encode_jobspec,
+    serve,
+)
+
+CFG = scaled_config(num_sms=1, window_cycles=600)
+TINY = 0.05
+
+
+def make_spec(app="S2", arch="baseline", config=CFG, scale=TINY, **overrides):
+    return JobSpec.build(
+        app=app, arch=arch, config=config, scale=scale, overrides=overrides
+    )
+
+
+def start_service(tmpdir, **coordinator_kwargs):
+    """Boot a coordinator + HTTP server on a free loopback port."""
+    coordinator_kwargs.setdefault("workers", 2)
+    coordinator_kwargs.setdefault("cache_dir", str(tmpdir))
+    coordinator = Coordinator(**coordinator_kwargs)
+    server = serve(host="127.0.0.1", port=0, coordinator=coordinator)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    url = f"http://127.0.0.1:{server.server_address[1]}"
+    return server, coordinator, url
+
+
+def stop_service(server, coordinator):
+    server.shutdown()
+    server.server_close()
+    coordinator.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# JSON job schema
+# ---------------------------------------------------------------------------
+class TestSchema:
+    def test_roundtrip_preserves_content_hash(self):
+        spec = make_spec("S2", "linebacker", track_loads=True)
+        doc = encode_jobspec(spec)
+        assert doc["schema"] == JOB_SCHEMA_VERSION
+        assert decode_jobspec(doc).key == spec.key
+
+    def test_roundtrip_is_pure_json(self):
+        doc = encode_jobspec(make_spec("LI", "best_swl"))
+        again = json.loads(json.dumps(doc))
+        assert decode_jobspec(again).key == decode_jobspec(doc).key
+
+    def test_options_travel_through_document(self):
+        spec = make_spec("S2", "linebacker", timeseries=True)
+        decoded = decode_jobspec(encode_jobspec(spec))
+        assert decoded.options == RunOptions(timeseries=True)
+
+    def test_schema_version_mismatch_rejected(self):
+        doc = encode_jobspec(make_spec())
+        doc["schema"] = JOB_SCHEMA_VERSION + 1
+        with pytest.raises(SchemaError, match="upgrade the older peer"):
+            decode_jobspec(doc)
+
+    def test_unknown_field_rejected(self):
+        doc = encode_jobspec(make_spec())
+        doc["frobnicate"] = 1
+        with pytest.raises(SchemaError, match="frobnicate"):
+            decode_jobspec(doc)
+
+    def test_unknown_app_and_arch_rejected(self):
+        doc = encode_jobspec(make_spec())
+        doc["app"] = "NOPE"
+        with pytest.raises(SchemaError, match="NOPE"):
+            decode_jobspec(doc)
+        doc = encode_jobspec(make_spec())
+        doc["arch"] = "warp9"
+        with pytest.raises(SchemaError, match="warp9"):
+            decode_jobspec(doc)
+
+    def test_nested_config_override_roundtrips(self):
+        from repro.config import LinebackerConfig
+
+        spec = make_spec(
+            "S2", "linebacker", lb_config=LinebackerConfig(vtt_ways=2)
+        )
+        decoded = decode_jobspec(encode_jobspec(spec))
+        assert decoded.key == spec.key
+        assert decoded.overrides["lb_config"].vtt_ways == 2
+
+
+# ---------------------------------------------------------------------------
+# End to end over HTTP
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    server, coordinator, url = start_service(
+        tmp_path_factory.mktemp("service-cache"), workers=2
+    )
+    yield {"server": server, "coordinator": coordinator, "url": url}
+    stop_service(server, coordinator)
+
+
+@pytest.fixture(scope="module")
+def client(service):
+    return ServiceClient(service["url"])
+
+
+class TestServiceEndToEnd:
+    def test_healthz_reports_versions_and_fleet(self, client):
+        doc = client.healthz()
+        assert doc["ok"] is True
+        assert doc["schema"] == JOB_SCHEMA_VERSION
+        assert doc["workers_alive"] >= 1
+
+    def test_submit_poll_result_matches_inline_fingerprint(self, client):
+        spec = make_spec("S2", "linebacker")
+        doc = client.submit(spec)
+        assert doc["job_id"] == spec.key
+        served = client.result(doc["job_id"], timeout=120)
+        inline = ExperimentRunner(
+            workers=1, use_cache=False, executor="inline"
+        ).run(spec)
+        assert fingerprint_value("linebacker", served) == fingerprint_value(
+            "linebacker", inline
+        )
+
+    def test_duplicate_submission_coalesces(self, client):
+        spec = make_spec("LI", "baseline")
+        first = client.submit(spec)
+        second = client.submit(spec)
+        assert second["job_id"] == first["job_id"]
+        assert second["coalesced"] or second["cached"]
+
+    def test_concurrent_clients_share_one_job(self, service):
+        spec = make_spec("KM", "baseline")
+        docs = [None, None]
+
+        def submit(slot):
+            docs[slot] = ServiceClient(service["url"]).submit(spec)
+
+        threads = [
+            threading.Thread(target=submit, args=(slot,)) for slot in (0, 1)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert docs[0]["job_id"] == docs[1]["job_id"]
+        results = [
+            ServiceClient(service["url"]).result(d["job_id"], timeout=120)
+            for d in docs
+        ]
+        assert results[0].instructions == results[1].instructions
+        stats = service["coordinator"].stats()
+        assert stats["coalesced"] >= 1
+
+    def test_status_endpoint_carries_provenance(self, client):
+        spec = make_spec("S2", "linebacker")
+        doc = client.submit(spec)
+        client.result(doc["job_id"], timeout=120)
+        status = client.status(doc["job_id"])
+        assert status["status"] == "done"
+        assert status["source"] in ("fleet", "cache", "degraded")
+        assert status["app"] == "S2" and status["arch"] == "linebacker"
+
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.status("f" * 64)
+        assert err.value.status == 404
+
+    def test_malformed_submission_is_400(self, service):
+        req = urllib.request.Request(
+            service["url"] + "/v1/jobs",
+            data=json.dumps({"schema": JOB_SCHEMA_VERSION}).encode(),
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=10)
+        assert err.value.code == 400
+
+    def test_simulation_error_is_final_and_surfaces(self, client):
+        spec = make_spec("S2", "baseline", max_concurrent_ctas=-3)
+        doc = client.submit(spec)
+        with pytest.raises(RemoteJobError):
+            client.result(doc["job_id"], timeout=120)
+
+    def test_fleet_endpoint_counts_work(self, client):
+        doc = client.fleet()
+        assert doc["fleet"]["size"] == 2
+        assert doc["submits"] >= doc["unique_jobs"]
+        assert set(doc["jobs"]) == {"queued", "running", "done", "failed"}
+
+    def test_timeseries_endpoint_streams_rows_once(self, client):
+        spec = make_spec("S2", "linebacker", timeseries=True)
+        doc = client.submit(spec)
+        rows = list(client.stream_timeseries(doc["job_id"], timeout=120))
+        assert rows
+        assert all("ipc" in row for row in rows)
+        # The cursor is drained: a fresh stream re-yields, `since` does not.
+        tail = client.timeseries(doc["job_id"], since=len(rows))
+        assert tail["rows"] == []
+
+    def test_timeseries_on_plain_run_is_409(self, client):
+        spec = make_spec("LI", "baseline")
+        doc = client.submit(spec)
+        client.result(doc["job_id"], timeout=120)
+        with pytest.raises(ServiceError) as err:
+            client.timeseries(doc["job_id"])
+        assert err.value.status == 409
+
+    def test_session_connect_runs_against_service(self, service):
+        with Session.connect(service["url"], config=CFG, scale=TINY) as s:
+            handle = s.run("S2", "linebacker")
+            result = handle.result(timeout=120)
+            assert result.instructions > 0
+            assert handle.status() == "done"
+            assert s.stats["fleet"]["size"] == 2
+
+
+# ---------------------------------------------------------------------------
+# Shared cache as the read-through result store
+# ---------------------------------------------------------------------------
+class TestSharedCache:
+    def test_results_survive_coordinator_restart(self, tmp_path):
+        spec = make_spec("S2", "baseline")
+        server, coordinator, url = start_service(tmp_path, workers=1)
+        try:
+            doc = ServiceClient(url).submit(spec)
+            first = ServiceClient(url).result(doc["job_id"], timeout=120)
+        finally:
+            stop_service(server, coordinator)
+        server, coordinator, url = start_service(tmp_path, workers=1)
+        try:
+            doc = ServiceClient(url).submit(spec)
+            assert doc["cached"] is True
+            assert doc["status"] == "done"
+            again = ServiceClient(url).result(doc["job_id"], timeout=30)
+            assert fingerprint_value("baseline", again) == fingerprint_value(
+                "baseline", first
+            )
+        finally:
+            stop_service(server, coordinator)
+
+
+# ---------------------------------------------------------------------------
+# Fault tiers behind the HTTP facade
+# ---------------------------------------------------------------------------
+class TestFaultTolerance:
+    def test_worker_death_mid_job_requeues_to_respawn(self, tmp_path):
+        marker = tmp_path / "died-once"
+        server, coordinator, url = start_service(
+            tmp_path / "cache",
+            workers=1,
+            worker_command=flaky_worker_command("die", marker),
+        )
+        try:
+            spec = make_spec("S2", "baseline")
+            doc = ServiceClient(url).submit(spec)
+            result = ServiceClient(url).result(doc["job_id"], timeout=120)
+            inline = ExperimentRunner(
+                workers=1, use_cache=False, executor="inline"
+            ).run(spec)
+            assert fingerprint_value("baseline", result) == fingerprint_value(
+                "baseline", inline
+            )
+            assert marker.exists()  # the fault really fired
+            fleet = coordinator.fleet.stats()
+            assert fleet["worker_deaths"] >= 1
+            assert fleet["requeued"] >= 1
+        finally:
+            stop_service(server, coordinator)
+
+    def test_exhausted_attempts_degrade_to_in_process(self, tmp_path):
+        # Every spawn dies before answering: the fleet gives up and the
+        # coordinator's degrade tier still produces a correct result.
+        shim = tmp_path / "always_die.py"
+        shim.write_text(
+            "import sys\n"
+            "from repro.runner.wire import encode_hello\n"
+            "sys.stdout.write(encode_hello() + '\\n')\n"
+            "sys.stdout.flush()\n"
+            "sys.stdin.readline()\n"
+            "raise SystemExit(1)\n"
+        )
+        server, coordinator, url = start_service(
+            tmp_path / "cache",
+            workers=1,
+            worker_command=f"{{python}} -u {shim}",
+            max_attempts=2,
+            backoff=0.01,
+        )
+        try:
+            spec = make_spec("LI", "baseline")
+            doc = ServiceClient(url).submit(spec)
+            result = ServiceClient(url).result(doc["job_id"], timeout=120)
+            assert result.instructions > 0
+            assert coordinator.degraded >= 1
+            assert coordinator.job(doc["job_id"]).source == "degraded"
+            assert coordinator.fleet.stats()["give_ups"] >= 1
+        finally:
+            stop_service(server, coordinator)
+
+    def test_protocol_mismatch_parks_worker_with_reason(self, tmp_path):
+        shim = tmp_path / "old_proto.py"
+        shim.write_text(
+            "import json, sys\n"
+            "print(json.dumps({'v': 999, 'type': 'hello',"
+            " 'proto': 999, 'pid': 1}))\n"
+            "sys.stdout.flush()\n"
+            "sys.stdin.readline()\n"
+        )
+        server, coordinator, url = start_service(
+            tmp_path / "cache",
+            workers=1,
+            worker_command=f"{{python}} -u {shim}",
+        )
+        try:
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                if coordinator.fleet.stats()["last_error"]:
+                    break
+                time.sleep(0.05)
+            assert "wire protocol" in coordinator.fleet.stats()["last_error"]
+        finally:
+            stop_service(server, coordinator)
+
+    def test_shutdown_leaves_no_orphan_workers(self, tmp_path):
+        server, coordinator, url = start_service(tmp_path, workers=2)
+        doc = ServiceClient(url).submit(make_spec("S2", "baseline"))
+        ServiceClient(url).result(doc["job_id"], timeout=120)
+        pids = coordinator.fleet.worker_pids()
+        assert pids
+        stop_service(server, coordinator)
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline:
+            if not any(Path(f"/proc/{pid}").exists() for pid in pids):
+                return
+            time.sleep(0.05)
+        alive = [pid for pid in pids if Path(f"/proc/{pid}").exists()]
+        assert not alive, f"orphaned workers: {alive}"

@@ -23,6 +23,7 @@ from repro.workloads.suite import APP_SPECS, kernel_for
 #: Every test module in ``tests/``; update alongside adding/removing files.
 TEST_MODULES = {
     "test_analysis",
+    "test_api",
     "test_backup",
     "test_baselines",
     "test_cache",
@@ -53,6 +54,7 @@ TEST_MODULES = {
     "test_register_file",
     "test_results_api",
     "test_runner",
+    "test_service",
     "test_sm_integration",
     "test_stats",
     "test_suite_manifest",
