@@ -9,6 +9,8 @@ is what the fixture self-tests use.
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import subprocess
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
@@ -16,11 +18,12 @@ from typing import Optional, Sequence
 from repro.lint.baseline import (
     BASELINE_NAME,
     load_baseline,
+    load_schema_baseline,
     split_baselined,
     write_baseline,
 )
 from repro.lint.finding import Finding
-from repro.lint.registry import all_passes
+from repro.lint.registry import RULES, all_passes
 from repro.lint.report import LintResult, render_json, render_text
 from repro.lint.source import Project, collect_files
 
@@ -43,6 +46,45 @@ def default_paths() -> list[Path]:
     return paths
 
 
+def changed_paths(root: Path, ref: Optional[str] = None) -> list[Path]:
+    """Python files touched relative to ``ref`` (or the worktree).
+
+    Without a ref: files modified versus ``HEAD`` plus untracked files
+    — "what my working copy changed". With a ref (e.g. ``origin/main``):
+    ``git diff --name-only <ref>``. Deleted files are dropped. Note the
+    cross-file passes see *only* these files, so twin/anchor checks
+    that need both sides of a pair are skipped when one side did not
+    change — ``--changed`` is a fast local filter, not the CI gate.
+    """
+    def _git(*argv: str) -> list[str]:
+        proc = subprocess.run(
+            ["git", "-C", str(root), *argv],
+            capture_output=True, text=True, check=False,
+        )
+        if proc.returncode != 0:
+            raise ValueError(
+                f"git {' '.join(argv)} failed: {proc.stderr.strip() or 'not a git checkout?'}"
+            )
+        return [line for line in proc.stdout.splitlines() if line.strip()]
+
+    names: list[str] = []
+    if ref:
+        names += _git("diff", "--name-only", ref)
+    else:
+        names += _git("diff", "--name-only", "HEAD")
+        names += _git("ls-files", "--others", "--exclude-standard")
+    out: list[Path] = []
+    seen: set[str] = set()
+    for name in names:
+        if name in seen or not name.endswith(".py"):
+            continue
+        seen.add(name)
+        path = root / name
+        if path.is_file():
+            out.append(path)
+    return out
+
+
 def run_lint(
     paths: Optional[Sequence[Path]] = None,
     root: Optional[Path] = None,
@@ -53,6 +95,9 @@ def run_lint(
     root = root or repo_root()
     files = collect_files([Path(p) for p in (paths or default_paths())], root)
     project = Project(files, root)
+    project.schema_baseline = (
+        load_schema_baseline(baseline_path) if baseline_path else {}
+    )
 
     passes = all_passes()
     if pass_names:
@@ -76,19 +121,42 @@ def run_lint(
     suppressed = 0
     for finding in raw:
         src = by_path.get(finding.path)
-        if src is not None and src.is_suppressed(finding.line, finding.rule):
-            suppressed += 1
-        else:
+        if src is None or not src.is_suppressed(
+            finding.line, finding.rule, finding.pass_name
+        ):
             kept.append(finding)
+            continue
+        rule = RULES.get(finding.rule)
+        if (
+            rule is not None
+            and rule.needs_justification
+            and not src.suppression_note(finding.line)
+        ):
+            # A bare ignore is not an argument; keep the finding and
+            # say what is missing.
+            kept.append(
+                dataclasses.replace(
+                    finding,
+                    message=finding.message
+                    + " [suppression requires a justification: "
+                    "`# repro-lint: ignore[...] <why this is safe>`]",
+                )
+            )
+            continue
+        suppressed += 1
 
     baseline = load_baseline(baseline_path) if baseline_path else set()
     fresh, known = split_baselined(kept, baseline)
+
+    from repro.lint.passes.protocol_drift import derive_schemas
+
     return LintResult(
         findings=sorted(fresh, key=Finding.sort_key),
         baselined=sorted(known, key=Finding.sort_key),
         suppressed=suppressed,
         files_checked=len(files),
         passes_run=[p.name for p in passes],
+        schemas=derive_schemas(project),
     )
 
 
@@ -118,6 +186,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--report", metavar="PATH",
         help="also write the JSON report to PATH (for CI artifacts)",
+    )
+    parser.add_argument(
+        "--sarif", metavar="PATH",
+        help="also write a SARIF 2.1.0 report to PATH (GitHub code "
+             "scanning upload)",
+    )
+    parser.add_argument(
+        "--changed", nargs="?", const="WORKTREE", default=None, metavar="REF",
+        help="lint only files changed in the working copy (or versus REF, "
+             "e.g. --changed origin/main); a fast local filter — "
+             "cross-file checks still need the full-tree run",
     )
     parser.add_argument(
         "--baseline", metavar="PATH", default=None,
@@ -160,6 +239,18 @@ def main(argv: Optional[list[str]] = None) -> int:
     )
     paths = [Path(p) for p in args.paths] if args.paths else None
     try:
+        if args.changed is not None:
+            if paths is not None:
+                print(
+                    "error: --changed and explicit paths are mutually "
+                    "exclusive", file=sys.stderr,
+                )
+                return 2
+            ref = None if args.changed == "WORKTREE" else args.changed
+            paths = changed_paths(repo_root(), ref)
+            if not paths:
+                print("no changed python files; nothing to lint")
+                return 0
         result = run_lint(
             paths=paths, baseline_path=baseline_path, pass_names=args.passes
         )
@@ -169,15 +260,25 @@ def main(argv: Optional[list[str]] = None) -> int:
 
     if args.write_baseline:
         accepted = result.findings + result.baselined
-        write_baseline(baseline_path, accepted)
+        # A --changed run saw a partial tree; keep the recorded schema
+        # fingerprints rather than overwrite them from half a project.
+        write_baseline(
+            baseline_path, accepted,
+            schemas=result.schemas if args.changed is None else None,
+        )
         print(
-            f"wrote {len(accepted)} finding(s) to {baseline_path}",
+            f"wrote {len(accepted)} finding(s) and "
+            f"{len(result.schemas)} schema fingerprint(s) to {baseline_path}",
             file=sys.stderr,
         )
         return 0
 
     if args.report:
         Path(args.report).write_text(render_json(result), encoding="utf-8")
+    if args.sarif:
+        from repro.lint.sarif import render_sarif
+
+        Path(args.sarif).write_text(render_sarif(result), encoding="utf-8")
     if args.json:
         print(render_json(result), end="")
     else:

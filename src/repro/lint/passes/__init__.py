@@ -4,6 +4,8 @@ from repro.lint.passes import (  # noqa: F401  (registration side effects)
     capability,
     determinism,
     pickle_safety,
+    protocol_drift,
     slots,
     stats_parity,
+    thread_safety,
 )

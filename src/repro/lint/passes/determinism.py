@@ -22,6 +22,20 @@ flags the constructs that historically break that property:
   compared a *computed* infinity against the sentinel object and only
   matched when CPython happened to reuse it.
 
+Since the dataflow engine landed, the ``set-iteration`` and
+``unseeded-random`` rules are **flow-sensitive** inside functions:
+
+* iterating a local name flags only when a set-valued binding actually
+  *reaches* the use — a ``sorted(...)``/``list(...)``/``tuple(...)``
+  rebinding on any path to the use suppresses the finding (reaching
+  definitions over the per-function CFG), so the old "assigned a set
+  anywhere in the module" over-approximation no longer fires on
+  normalized copies;
+* a global-RNG draw is accepted when a ``seed(...)`` call can execute
+  before it on some CFG path of the same function (or anywhere outside
+  it — cross-function seeding stays conservatively accepted); a seed
+  that only runs *after* every draw no longer counts.
+
 Scope: simulation-core packages only. Orchestration layers
 (:mod:`repro.runner`, :mod:`repro.service`, :mod:`repro.analysis`,
 :mod:`repro.bench`, :mod:`repro.workloads`, :mod:`repro.power`, the
@@ -36,6 +50,8 @@ from __future__ import annotations
 import ast
 from typing import Iterable, Optional
 
+from repro.lint.cfg import build_cfg
+from repro.lint.dataflow import ReachingDefinitions, any_path_has
 from repro.lint.finding import Finding, Severity
 from repro.lint.registry import Rule, lint_pass, make_finding
 from repro.lint.source import Project, SourceFile
@@ -167,25 +183,118 @@ class _FloatNames:
         return isinstance(node, ast.Name) and node.id in self.names
 
 
-def _module_seeds_random(tree: ast.Module, module: str) -> bool:
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Call):
-            dotted = _dotted(node.func)
-            if dotted in (f"{module}.seed", f"numpy.{module}.seed", f"np.{module}.seed"):
-                return True
-    return False
+_SEED_CALLS = ("random.seed", "numpy.random.seed", "np.random.seed")
+
+
+def _is_seed_call(node: ast.AST) -> bool:
+    return isinstance(node, ast.Call) and _dotted(node.func) in _SEED_CALLS
+
+
+#: Rebinding through these calls yields a deterministically ordered
+#: sequence, which kills a set-iteration finding on that path.
+_ORDERING_CALLS = {"sorted", "list", "tuple"}
+
+
+class _Flows:
+    """Lazy per-function CFG + reaching-definitions for one module."""
+
+    def __init__(self, parents: dict[ast.AST, ast.AST]) -> None:
+        self.parents = parents
+        self._cache: dict[ast.AST, tuple] = {}
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        cur = self.parents.get(node)
+        while cur is not None:
+            if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return cur
+            cur = self.parents.get(cur)
+        return None
+
+    def flows(self, fn: ast.AST) -> tuple:
+        if fn not in self._cache:
+            cfg = build_cfg(fn)
+            self._cache[fn] = (cfg, ReachingDefinitions(cfg))
+        return self._cache[fn]
+
+    def placed_stmt(self, fn: ast.AST, node: ast.AST) -> Optional[ast.AST]:
+        """The CFG-placed statement whose evaluation contains ``node``."""
+        cfg, _ = self.flows(fn)
+        cur: Optional[ast.AST] = node
+        while cur is not None and cur not in cfg.stmt_index:
+            cur = self.parents.get(cur)
+        return cur
 
 
 def _check_file(src: SourceFile) -> Iterable[Finding]:
     tree = src.tree
     set_types = _SetTypes(tree)
     float_names = _FloatNames(tree)
-    random_seeded = _module_seeds_random(tree, "random")
 
     parents: dict[ast.AST, ast.AST] = {}
     for parent in ast.walk(tree):
         for child in ast.iter_child_nodes(parent):
             parents[child] = parent
+    flows = _Flows(parents)
+
+    #: Enclosing functions of every seed(...) call (None = module level).
+    seed_fns: set[Optional[ast.AST]] = {
+        flows.enclosing_function(node)
+        for node in ast.walk(tree)
+        if _is_seed_call(node)
+    }
+
+    def draw_ok(node: ast.AST) -> bool:
+        """True when a global-RNG draw at ``node`` is visibly seeded."""
+        fn = flows.enclosing_function(node)
+        if fn is None:
+            return bool(seed_fns)  # module-level draw: any seed counts
+        if seed_fns - {fn}:
+            return True  # seeded at module level or in another function
+        if fn not in seed_fns:
+            return False
+        # Seeded in this very function: the seed must be able to run
+        # before the draw on at least one CFG path.
+        cfg, _rd = flows.flows(fn)
+        stmt = flows.placed_stmt(fn, node)
+        if stmt is None:
+            return True  # not a placed statement (decorator/default): punt
+        if any(_is_seed_call(n) for n in ast.walk(stmt)):
+            return True  # same statement, e.g. seeded helper chain
+        return any_path_has(
+            cfg, stmt,
+            lambda s: any(_is_seed_call(n) for n in ast.walk(s)),
+        )
+
+    def is_set_use(expr: ast.AST) -> bool:
+        """Flow-sensitive "does this expression hold an unordered set".
+
+        For local names the reaching definitions decide: an ordering
+        rebind (``sorted``/``list``/``tuple``) on any path suppresses,
+        and only a set-valued binding that actually reaches the use
+        convicts. Anything without flow information falls back to the
+        module-level type sketch.
+        """
+        if isinstance(expr, ast.Name):
+            fn = flows.enclosing_function(expr)
+            if fn is not None:
+                _cfg, rd = flows.flows(fn)
+                stmt = flows.placed_stmt(fn, expr)
+                if stmt is not None:
+                    defs = rd.reaching(stmt, expr.id)
+                    if defs:
+                        has_set = False
+                        for d in defs:
+                            value = d.value
+                            if (
+                                isinstance(value, ast.Call)
+                                and isinstance(value.func, ast.Name)
+                                and value.func.id in _ORDERING_CALLS
+                            ):
+                                return False
+                            if value is not None and set_types.is_set(value):
+                                has_set = True
+                        return has_set
+        return set_types.is_set(expr)
 
     #: Consumers whose result does not depend on iteration order:
     #: sorting, counting, exact min/max, rebuilding a set.
@@ -202,7 +311,7 @@ def _check_file(src: SourceFile) -> Iterable[Finding]:
 
     for node in ast.walk(tree):
         # -- set iteration ----------------------------------------------
-        if isinstance(node, (ast.For, ast.AsyncFor)) and set_types.is_set(node.iter):
+        if isinstance(node, (ast.For, ast.AsyncFor)) and is_set_use(node.iter):
             yield make_finding(
                 "set-iteration",
                 "iteration over an unordered set; wrap in sorted(...) or use a dict",
@@ -211,7 +320,7 @@ def _check_file(src: SourceFile) -> Iterable[Finding]:
         elif isinstance(node, (ast.GeneratorExp, ast.ListComp, ast.DictComp)):
             # A set comprehension over a set rebuilds a set: order-free.
             # Generators feeding sorted()/len()/min()/... are too.
-            if any(set_types.is_set(gen.iter) for gen in node.generators):
+            if any(is_set_use(gen.iter) for gen in node.generators):
                 if not order_safe_context(node):
                     yield make_finding(
                         "set-iteration",
@@ -223,7 +332,7 @@ def _check_file(src: SourceFile) -> Iterable[Finding]:
             and isinstance(node.func, ast.Name)
             and node.func.id in {"list", "tuple", "enumerate", "iter", "next"}
             and node.args
-            and set_types.is_set(node.args[0])
+            and is_set_use(node.args[0])
         ):
             yield make_finding(
                 "set-iteration",
@@ -250,7 +359,7 @@ def _check_file(src: SourceFile) -> Iterable[Finding]:
                     parts[0] in {"random"}
                     and len(parts) == 2
                     and parts[1] not in _RANDOM_SAFE
-                    and not random_seeded
+                    and not draw_ok(node)
                 ):
                     yield make_finding(
                         "unseeded-random",
@@ -263,7 +372,7 @@ def _check_file(src: SourceFile) -> Iterable[Finding]:
                     and parts[0] in {"numpy", "np"}
                     and parts[1] == "random"
                     and parts[2] not in _RANDOM_SAFE
-                    and not _module_seeds_random(tree, "random")
+                    and not draw_ok(node)
                 ):
                     yield make_finding(
                         "unseeded-random",

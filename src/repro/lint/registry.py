@@ -26,6 +26,11 @@ class Rule:
     name: str
     severity: Severity
     summary: str
+    #: ``# repro-lint: ignore[...]`` for this rule must carry a
+    #: justification string after the bracket; a bare ignore is kept
+    #: as a finding (used by the thread-safety rules, where "trust me"
+    #: is not an acceptable concurrency argument).
+    needs_justification: bool = False
 
 
 @dataclass(frozen=True)

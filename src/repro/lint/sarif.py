@@ -1,0 +1,87 @@
+"""SARIF 2.1.0 reporter, for GitHub code-scanning upload.
+
+One run, one tool (``repro-lint``), every registered rule in the
+driver's rule table, one result per actionable finding. Fingerprints
+ride in ``partialFingerprints`` so code scanning tracks a finding
+across commits the same way the JSON baseline does (both are derived
+from the rule + path + source-line triple, not the line number).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.finding import Finding, Severity
+from repro.lint.registry import all_passes
+from repro.lint.report import LintResult
+
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+}
+
+
+def _rules_table() -> list[dict]:
+    rules = []
+    for lint in all_passes():
+        for rule in lint.rules:
+            rules.append(
+                {
+                    "id": rule.name,
+                    "shortDescription": {"text": rule.summary},
+                    "properties": {"pass": lint.name},
+                    "defaultConfiguration": {
+                        "level": _LEVELS.get(rule.severity, "warning")
+                    },
+                }
+            )
+    return rules
+
+
+def _result(finding: Finding) -> dict:
+    return {
+        "ruleId": finding.rule,
+        "level": _LEVELS.get(finding.severity, "warning"),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {"startLine": max(finding.line, 1)},
+                }
+            }
+        ],
+        "partialFingerprints": {"reproLint/v1": finding.fingerprint},
+    }
+
+
+def render_sarif(result: LintResult) -> str:
+    """The SARIF document for ``result``'s actionable findings."""
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://example.invalid/repro-lint",
+                        "rules": _rules_table(),
+                    }
+                },
+                "results": [
+                    _result(f)
+                    for f in sorted(result.findings, key=Finding.sort_key)
+                ],
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2) + "\n"

@@ -11,8 +11,12 @@ A finding is suppressed by a trailing comment on the flagged line::
     t0 = time.time()  # repro-lint: ignore[wall-clock] progress display only
 
 ``ignore[rule-a,rule-b]`` suppresses the named rules; a bare
-``ignore`` (no bracket) suppresses every rule on that line. Text after
-the bracket is the (encouraged) one-line justification.
+``ignore`` (no bracket) suppresses every rule on that line. A *pass
+name* inside the bracket (``ignore[thread-safety]``) suppresses every
+rule of that pass. Text after the bracket is the one-line
+justification — encouraged everywhere, and **required** for rules
+declared with ``needs_justification`` (the CLI keeps the finding when
+the justification is missing).
 """
 
 from __future__ import annotations
@@ -34,8 +38,10 @@ class SourceFile:
     relpath: str               # project-relative, '/'-separated
     text: str
     tree: ast.Module
-    #: line -> set of suppressed rule names ('*' = every rule).
+    #: line -> set of suppressed rule/pass names ('*' = every rule).
     suppressions: dict[int, set[str]] = field(default_factory=dict)
+    #: line -> justification text following the ignore bracket.
+    notes: dict[int, str] = field(default_factory=dict)
 
     @property
     def lines(self) -> list[str]:
@@ -47,11 +53,17 @@ class SourceFile:
             return lines[line - 1].strip()
         return ""
 
-    def is_suppressed(self, line: int, rule: str) -> bool:
+    def is_suppressed(self, line: int, rule: str, pass_name: str = "") -> bool:
         rules = self.suppressions.get(line)
         if not rules:
             return False
-        return "*" in rules or rule in rules
+        if "*" in rules or rule in rules:
+            return True
+        return bool(pass_name) and pass_name in rules
+
+    def suppression_note(self, line: int) -> str:
+        """The justification text of the ignore comment on ``line``."""
+        return self.notes.get(line, "")
 
     def iter_classes(self) -> Iterator[ast.ClassDef]:
         for node in ast.walk(self.tree):
@@ -59,8 +71,9 @@ class SourceFile:
                 yield node
 
 
-def _extract_suppressions(text: str) -> dict[int, set[str]]:
+def _extract_suppressions(text: str) -> tuple[dict[int, set[str]], dict[int, str]]:
     out: dict[int, set[str]] = {}
+    notes: dict[int, str] = {}
     for lineno, line in enumerate(text.splitlines(), start=1):
         if "repro-lint" not in line:
             continue
@@ -73,7 +86,10 @@ def _extract_suppressions(text: str) -> dict[int, set[str]]:
         else:
             rules = {r.strip() for r in inner.split(",") if r.strip()}
             out[lineno] = rules or {"*"}
-    return out
+        note = line[m.end():].strip()
+        if note:
+            notes[lineno] = note
+    return out, notes
 
 
 def load_source(path: Path, root: Path) -> Optional[SourceFile]:
@@ -88,12 +104,14 @@ def load_source(path: Path, root: Path) -> Optional[SourceFile]:
         relpath = path.relative_to(root.resolve()).as_posix()
     except ValueError:
         relpath = path.name
+    suppressions, notes = _extract_suppressions(text)
     return SourceFile(
         path=path,
         relpath=relpath,
         text=text,
         tree=tree,
-        suppressions=_extract_suppressions(text),
+        suppressions=suppressions,
+        notes=notes,
     )
 
 

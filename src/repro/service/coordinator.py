@@ -208,7 +208,7 @@ class Coordinator:
                 return
             spec = job.spec
             job.source = "degraded"
-        self.degraded += 1
+            self.degraded += 1
         try:
             payload, seconds = execute_job(spec)
         except Exception as exc:
@@ -246,6 +246,7 @@ class Coordinator:
     def stats(self) -> dict:
         with self._lock:
             jobs = list(self._jobs.values())
+            degraded = self.degraded
         counts = {state: 0 for state in JOB_STATES}
         submits = 0
         for job in jobs:
@@ -257,7 +258,7 @@ class Coordinator:
             "submits": submits,
             "unique_jobs": len(jobs),
             "coalesced": submits - len(jobs),
-            "degraded": self.degraded,
+            "degraded": degraded,
             "cache_dir": str(self.cache.root) if self.cache else None,
             "fleet": self.fleet.stats(),
         }

@@ -129,6 +129,10 @@ class WorkerFleet:
         self.backoff = backoff
         self.on_outcome = on_outcome or (lambda outcome: None)
 
+        # ``self._lock`` guards every field below it: the worker table,
+        # the backlog, the health counters and the dispatcher handle.
+        # Blocking work (Popen, pipe I/O, joins, on_outcome callbacks)
+        # always happens *outside* the lock.
         self._workers: dict[int, FleetWorker] = {}
         self._events: "queue.Queue[tuple[int, str, str]]" = queue.Queue()
         self._backlog: deque[_QueuedJob] = deque()
@@ -143,6 +147,8 @@ class WorkerFleet:
         self.retried = 0
         self.worker_deaths = 0
         self.give_ups = 0
+        #: Last permanent fleet-level error (e.g. a protocol mismatch).
+        self.last_error = ""
         self._thread: Optional[threading.Thread] = None
 
     @staticmethod
@@ -156,20 +162,22 @@ class WorkerFleet:
 
     # -- lifecycle -------------------------------------------------------
     def start(self) -> None:
+        for host in self.hosts:
+            self._spawn(host)
         with self._lock:
-            for host in self.hosts:
-                self._spawn(host)
-        self._thread = threading.Thread(
-            target=self._dispatch_loop, name="fleet-dispatch", daemon=True
-        )
-        self._thread.start()
+            self._thread = threading.Thread(
+                target=self._dispatch_loop, name="fleet-dispatch", daemon=True
+            )
+            self._thread.start()
 
     def shutdown(self, grace: float = 2.0) -> None:
         """Stop dispatching, close stdin pipes (worker EOF = shutdown),
         then kill stragglers. Leaves no orphaned processes behind."""
         self._stop.set()
-        if self._thread is not None:
-            self._thread.join(timeout=grace)
+        with self._lock:
+            thread = self._thread
+        if thread is not None:
+            thread.join(timeout=grace)
         with self._lock:
             workers = list(self._workers.values())
         for worker in workers:
@@ -197,7 +205,8 @@ class WorkerFleet:
         return shlex.split(self.command.format(python=sys.executable, host=host))
 
     def _spawn(self, host: str) -> Optional[FleetWorker]:
-        """Launch one worker (caller holds the lock)."""
+        """Launch one worker; the fork happens outside the lock (a slow
+        exec must not stall every HTTP thread asking for stats)."""
         try:
             proc = subprocess.Popen(
                 self._argv(host),
@@ -209,12 +218,14 @@ class WorkerFleet:
                 env=_worker_env(),
             )
         except (OSError, ValueError):
-            self._spawn_failures += 1
+            with self._lock:
+                self._spawn_failures += 1
             return None
-        wid = self._next_wid
-        self._next_wid += 1
-        worker = FleetWorker(wid=wid, host=host, proc=proc)
-        self._workers[wid] = worker
+        with self._lock:
+            wid = self._next_wid
+            self._next_wid += 1
+            worker = FleetWorker(wid=wid, host=host, proc=proc)
+            self._workers[wid] = worker
         threading.Thread(
             target=self._read_loop,
             args=(wid, proc),
@@ -232,10 +243,16 @@ class WorkerFleet:
         self._events.put((wid, "eof", ""))
 
     def _ensure_workers(self) -> None:
-        """Respawn until one worker per host entry is alive (locked)."""
-        alive = sum(1 for w in self._workers.values() if w.alive)
+        """Respawn until one worker per host entry is alive (takes the
+        lock per step; spawning itself runs unlocked)."""
+        with self._lock:
+            alive = sum(1 for w in self._workers.values() if w.alive)
         for host in self.hosts[alive:]:
-            if self._spawn_failures >= len(self.hosts) * self.max_attempts:
+            with self._lock:
+                give_up = (
+                    self._spawn_failures >= len(self.hosts) * self.max_attempts
+                )
+            if give_up:
                 break  # an unlaunchable template cannot fork-bomb the box
             self._spawn(host)
 
@@ -253,19 +270,22 @@ class WorkerFleet:
             worker.proc.kill()
         except OSError:
             pass
-        self.worker_deaths += 1
+        with self._lock:
+            self.worker_deaths += 1
         if worker.job_key is not None:
             key, job = worker.job_key, worker.current_job
             worker.job_key = None
             worker.current_job = None
             worker.deadline = None
             self._requeue(key, job, reason)
-        with self._lock:
-            self._ensure_workers()
+        self._ensure_workers()
 
     def _requeue(self, key: str, job: _QueuedJob, reason: str) -> None:
         if job.attempt >= self.max_attempts:
-            self.give_ups += 1
+            with self._lock:
+                self.give_ups += 1
+            # The callback may take the coordinator's own locks; never
+            # invoke it while holding ours.
             self.on_outcome(
                 JobOutcome(
                     key=key, ok=False, give_up=True,
@@ -273,8 +293,8 @@ class WorkerFleet:
                 )
             )
             return
-        self.requeued += 1
         with self._lock:
+            self.requeued += 1
             self._backlog.append(
                 _QueuedJob(
                     key=key,
@@ -302,15 +322,18 @@ class WorkerFleet:
                     continue
                 picked.append((idle.popleft(), job))
         for worker, job in picked:
-            if job.attempt > 1:
-                self.retried += 1
-            worker.job_key = job.key
-            worker.current_job = job
-            worker.deadline = (
-                now + self.job_timeout if self.job_timeout else None
-            )
-            self.dispatched += 1
+            with self._lock:
+                if job.attempt > 1:
+                    self.retried += 1
+                worker.job_key = job.key
+                worker.current_job = job
+                worker.deadline = (
+                    now + self.job_timeout if self.job_timeout else None
+                )
+                self.dispatched += 1
             try:
+                # Pipe I/O stays outside the lock: a worker with a full
+                # stdin buffer must not stall stats()/submit() callers.
                 worker.proc.stdin.write(encode_job(job.key, job.spec) + "\n")
                 worker.proc.stdin.flush()
             except (OSError, ValueError):
@@ -331,8 +354,9 @@ class WorkerFleet:
                     worker.proc.kill()
                 except OSError:
                     pass
-                self.worker_deaths += 1
-                self.last_error = str(exc)
+                with self._lock:
+                    self.worker_deaths += 1
+                    self.last_error = str(exc)
                 return
             except WireError:
                 self._recycle(
@@ -356,7 +380,8 @@ class WorkerFleet:
         worker.current_job = None
         worker.deadline = None
         worker.jobs_done += 1
-        self.completed += 1
+        with self._lock:
+            self.completed += 1
         if result.ok:
             self.on_outcome(
                 JobOutcome(
@@ -372,7 +397,9 @@ class WorkerFleet:
         if not self.job_timeout:
             return
         now = time.monotonic()
-        for worker in list(self._workers.values()):
+        with self._lock:
+            workers = list(self._workers.values())
+        for worker in workers:
             if worker.alive and worker.deadline and worker.deadline <= now:
                 self._recycle(
                     worker, f"job exceeded timeout of {self.job_timeout}s"
@@ -386,42 +413,40 @@ class WorkerFleet:
             except queue.Empty:
                 self._check_deadlines()
                 with self._lock:
-                    if self._backlog:
-                        self._ensure_workers()
+                    backlogged = bool(self._backlog)
+                if backlogged:
+                    self._ensure_workers()
                 continue
-            if kind == "line":
+            with self._lock:
                 worker = self._workers.get(wid)
+            if kind == "line":
                 if worker is not None and not worker.recycled:
                     self._handle_line(worker, line)
             elif kind == "eof":
-                worker = self._workers.get(wid)
                 if worker is not None and not worker.recycled:
                     self._recycle(worker, "worker died")
             # "wake" events only interrupt the get() so new submissions
             # dispatch immediately.
 
     # -- observability ---------------------------------------------------
-    #: Last permanent fleet-level error (e.g. a protocol mismatch).
-    last_error: str = ""
-
     def stats(self) -> dict:
         with self._lock:
             workers = [w.to_dict() for w in self._workers.values() if not w.recycled]
-            backlog = len(self._backlog)
-        return {
-            "size": len(self.hosts),
-            "alive": sum(1 for w in workers if w["alive"]),
-            "backlog": backlog,
-            "dispatched": self.dispatched,
-            "completed": self.completed,
-            "retried": self.retried,
-            "requeued": self.requeued,
-            "worker_deaths": self.worker_deaths,
-            "give_ups": self.give_ups,
-            "last_error": self.last_error,
-            "workers": workers,
-        }
+            return {
+                "size": len(self.hosts),
+                "alive": sum(1 for w in workers if w["alive"]),
+                "backlog": len(self._backlog),
+                "dispatched": self.dispatched,
+                "completed": self.completed,
+                "retried": self.retried,
+                "requeued": self.requeued,
+                "worker_deaths": self.worker_deaths,
+                "give_ups": self.give_ups,
+                "last_error": self.last_error,
+                "workers": workers,
+            }
 
     def worker_pids(self) -> list:
         """PIDs of every process the fleet ever spawned (orphan audit)."""
-        return [w.proc.pid for w in self._workers.values()]
+        with self._lock:
+            return [w.proc.pid for w in self._workers.values()]

@@ -42,3 +42,10 @@ def jitter_latency(base):
 def stamp_result(result):
     result["finished_at"] = time.time()  # wall-clock
     return result
+
+
+def flow_sensitive_leak(flag):
+    ids = {4, 5}
+    if flag:
+        ids = {6, 7}
+    return [i for i in ids]  # set-iteration: a set reaches on every path

@@ -39,3 +39,15 @@ def jitter_latency(base, seed):
 def stamp_result(result, cycle):
     result["finished_at"] = cycle  # simulated time, not the wall clock
     return result
+
+
+def flow_sensitive_normalized(flag):
+    ids = {4, 5}
+    if flag:
+        ids = sorted(ids)
+    return [i for i in ids]  # a sorted() definition reaches: order is pinned
+
+
+def seeded_draw():
+    random.seed(2019)  # seeding dominates the draw below
+    return random.random()

@@ -1,0 +1,51 @@
+"""Behaviour-equivalent twin of ``case_thread_safety_bad.py`` with the
+lock discipline the pass demands: one lock, every shared field guarded,
+a single global acquisition order, and all blocking work (pipe I/O,
+process spawning) outside the lock region. Must lint clean."""
+
+import subprocess
+import threading
+
+
+class MiniFleet:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._workers = {}
+        self.completed = 0
+        self.last_error = ""
+
+    def register(self, wid, proc):
+        with self._lock:
+            self._workers[wid] = proc
+
+    def drain(self, wid):
+        with self._lock:
+            proc = self._workers.pop(wid, None)
+            if proc is None:
+                return None
+            self.completed += 1
+        return proc
+
+    def fail(self, message):
+        with self._lock:
+            self.last_error = message
+
+    def stats(self):
+        with self._lock:
+            return {
+                "workers": len(self._workers),
+                "completed": self.completed,
+                "last_error": self.last_error,
+            }
+
+    def flush(self):
+        with self._lock:
+            pending = list(self._workers.values())
+        for proc in pending:
+            proc.stdin.flush()  # pipe I/O happens outside the lock
+
+    def respawn(self, wid, argv):
+        proc = subprocess.Popen(argv)  # fork first, register under the lock
+        with self._lock:
+            self._workers[wid] = proc
+        return proc

@@ -33,12 +33,25 @@ EXPECTED = {
     "determinism": (
         "case_determinism_bad.py",
         {
-            "set-iteration": 1,
+            "set-iteration": 2,  # one lexical, one through a branch join
             "id-keyed-dict": 1,
             "unseeded-random": 1,
             "wall-clock": 1,
             "float-identity": 1,
         },
+    ),
+    "thread-safety": (
+        "case_thread_safety_bad.py",
+        {
+            "unguarded-attribute": 2,
+            "unsynchronized-attribute": 4,
+            "lock-order": 2,
+            "lock-held-blocking": 2,
+        },
+    ),
+    "protocol-drift": (
+        "case_protocol_drift_bad.py",
+        {"schema-twin-drift": 4},
     ),
     "slots": (
         "case_slots_bad.py",
@@ -196,7 +209,7 @@ def test_cli_exit_codes_and_json(tmp_path, capsys):
     report = tmp_path / "lint-report.json"
     assert lint_main([bad, "--json", "--report", str(report)]) == 1
     payload = json.loads(capsys.readouterr().out)
-    assert payload["summary"]["errors"] == 5
+    assert payload["summary"]["errors"] == 6
     assert json.loads(report.read_text()) == payload
 
     assert lint_main(["--list-rules"]) == 0
@@ -225,4 +238,4 @@ def test_repository_tree_lints_clean():
     result = run_lint()
     assert result.findings == [], [f.location for f in result.findings]
     assert result.files_checked > 50
-    assert len(result.passes_run) == 5
+    assert len(result.passes_run) == 7

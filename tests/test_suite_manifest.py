@@ -45,6 +45,7 @@ TEST_MODULES = {
     "test_isa_trace",
     "test_linebacker_integration",
     "test_lint",
+    "test_lint_dataflow",
     "test_load_monitor",
     "test_metrics",
     "test_mshr",
