@@ -17,6 +17,8 @@ Usage:
     python -m repro bench --check-against BENCH_sim.json
     python -m repro lint --strict
     python -m repro lint --json src/repro/gpu
+    python -m repro fuzz --seed 2019 --count 25 --out corpus/
+    python -m repro fuzz --seed 7 --count 5 --minimize --no-simulate
     python -m repro cache info
     python -m repro cache clear
 
@@ -286,6 +288,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="static invariant checker (see `python -m repro lint --help`)",
     )
     lint_p.add_argument("rest", nargs=argparse.REMAINDER)
+
+    fuzz_p = sub.add_parser(
+        "fuzz",
+        help="generate seeded workload specs and check every paper-rule "
+        "classification gate and engine invariant",
+    )
+    fuzz_p.add_argument("--seed", type=int, default=2019,
+                        help="corpus seed (default 2019); every spec is "
+                        "deterministic per (seed, index)")
+    fuzz_p.add_argument("--count", type=int, default=25,
+                        help="number of specs to generate (default 25)")
+    fuzz_p.add_argument("--out", default=None,
+                        help="write each spec as <name>.json into this "
+                        "corpus directory")
+    fuzz_p.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale for classification/simulation")
+    fuzz_p.add_argument("--sms", type=int, default=1,
+                        help="SMs for the differential simulation (default 1)")
+    fuzz_p.add_argument("--no-simulate", action="store_true",
+                        help="classification gates only; skip the "
+                        "Linebacker/Best-SWL differential harness")
+    fuzz_p.add_argument("--minimize", action="store_true",
+                        help="greedily shrink each failing spec and write "
+                        "<name>.min.json next to it (or print it)")
 
     cache_p = sub.add_parser("cache", help="inspect or clear the result cache")
     cache_p.add_argument("action", choices=("info", "clear"))
@@ -580,6 +606,66 @@ def _cmd_submit(args, parser: argparse.ArgumentParser) -> int:
     return 0
 
 
+def _cmd_fuzz(args, parser: argparse.ArgumentParser) -> int:
+    """Generate a seeded corpus and hold every spec to the paper-rule
+    classification gates (and, unless --no-simulate, the differential
+    engine-invariant harness). Exit 1 if any spec fails."""
+    import json
+    from pathlib import Path
+
+    from repro.workloads.fuzz import (
+        check_gates,
+        differential_check,
+        fuzz_workload,
+        minimize,
+    )
+    from repro.workloads.spec import encode_workload, save_workload_file
+
+    if args.count < 1:
+        parser.error("--count must be at least 1")
+    out_dir = Path(args.out) if args.out else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    def all_problems(spec) -> list[str]:
+        problems, _ = check_gates(spec, scale=args.scale)
+        if not args.no_simulate:
+            problems += differential_check(spec, scale=args.scale, sms=args.sms)
+        return problems
+
+    failures = 0
+    started = time.time()
+    for index in range(args.count):
+        spec = fuzz_workload(args.seed, index)
+        if out_dir is not None:
+            save_workload_file(spec, out_dir / f"{spec.name}.json")
+        problems = all_problems(spec)
+        status = "ok" if not problems else "FAIL"
+        print(f"[{index:3d}] {spec.name:32s} {status}")
+        for p in problems:
+            print(f"      {p}", file=sys.stderr)
+        if problems:
+            failures += 1
+            if args.minimize:
+                small = minimize(spec, lambda s: bool(all_problems(s)))
+                doc = encode_workload(small)
+                if out_dir is not None:
+                    path = out_dir / f"{spec.name}.min.json"
+                    with open(path, "w") as fh:
+                        json.dump(doc, fh, indent=2, sort_keys=True)
+                    print(f"      minimized repro -> {path}", file=sys.stderr)
+                else:
+                    print(json.dumps(doc, indent=2, sort_keys=True),
+                          file=sys.stderr)
+    gates = "gates" if args.no_simulate else "gates + engine invariants"
+    print(
+        f"\n{args.count - failures}/{args.count} specs passed {gates} "
+        f"(seed {args.seed}, {time.time() - started:.0f}s)",
+        file=sys.stderr,
+    )
+    return 1 if failures else 0
+
+
 def _cmd_cache(args) -> int:
     cache = ResultCache(args.cache_dir)
     if args.action == "info":
@@ -656,7 +742,7 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(argv) if argv is not None else sys.argv[1:]
     # Historical alias: `python -m repro fig12 ...` == `run fig12 ...`.
     known = ("run", "list", "overhead", "bench", "lint", "cache", "worker",
-             "trace", "serve", "submit")
+             "trace", "serve", "submit", "fuzz")
     if argv and argv[0] not in known and not argv[0].startswith("-"):
         argv = ["run", *argv]
     if argv and argv[0] == "lint":
@@ -680,6 +766,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_bench(args, parser)
     if args.command == "trace":
         return _cmd_trace(args, parser)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args, parser)
     if args.command == "cache":
         return _cmd_cache(args)
     if args.command == "serve":

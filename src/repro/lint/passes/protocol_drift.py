@@ -79,6 +79,8 @@ SURFACES = (
              "JOB_SCHEMA_VERSION"),
     _Surface("run-options", None, None, "RunOptions", "JOB_SCHEMA_VERSION"),
     _Surface("jobspec", None, None, "JobSpec", "CACHE_SCHEMA_VERSION"),
+    _Surface("workload-spec", "encode_workload", "decode_workload", None,
+             "WORKLOAD_SPEC_VERSION"),
 )
 
 

@@ -47,7 +47,9 @@ from repro.config import stable_hash
 #: pickled structure, ...). Old entries then miss and are re-simulated.
 #: v2: SMSnapshot grew a ``timeseries`` field (opt-in WindowSeries
 #: payload recorded at window boundaries).
-CACHE_SCHEMA_VERSION = 2
+#: v3: JobSpec grew a ``workload`` field (declarative workload specs
+#: as first-class apps), which changes every content-hash key.
+CACHE_SCHEMA_VERSION = 3
 
 #: Sentinel distinguishing "entry absent" from a cached ``None``.
 MISS = object()

@@ -79,7 +79,12 @@ def execute_job(spec: JobSpec) -> tuple[Any, float]:
     """
     started = time.perf_counter()
     arch = resolve(spec.arch)
-    kernel = kernel_for(spec.app, spec.scale)
+    if spec.workload is not None:
+        from repro.workloads.spec import build_workload
+
+        kernel = build_workload(spec.workload, spec.scale)
+    else:
+        kernel = kernel_for(spec.app, spec.scale)
     value = arch.runner(spec.config, kernel, **spec.overrides)
     return portable(value), time.perf_counter() - started
 

@@ -23,17 +23,27 @@ from typing import Any, Mapping, Optional
 
 from repro.config import SimulationConfig, stable_hash
 from repro.options import RunOptions
+from repro.workloads.spec import WorkloadSpec
 
 
 @dataclass(frozen=True)
 class JobSpec:
-    """One simulation to run: app x architecture x config x scale."""
+    """One simulation to run: app x architecture x config x scale.
+
+    ``workload`` carries a declarative
+    :class:`~repro.workloads.spec.WorkloadSpec` when ``app`` is not a
+    built-in Table-2 name. The spec rides *inside* the job — plain
+    frozen data, so it pickles to pool workers and encodes onto the
+    HTTP job document — which means a fuzzed or file-defined workload
+    runs on any executor with no registration step on the far side.
+    """
 
     app: str
     arch: str
     config: SimulationConfig
     scale: float = 1.0
     params: tuple[tuple[str, Any], ...] = ()
+    workload: Optional[WorkloadSpec] = None
 
     @classmethod
     def build(
@@ -44,6 +54,7 @@ class JobSpec:
         scale: float = 1.0,
         overrides: Mapping[str, Any] | None = None,
         options: Optional[RunOptions] = None,
+        workload: Optional[WorkloadSpec] = None,
     ) -> "JobSpec":
         """Build a spec from overrides and/or a :class:`RunOptions`.
 
@@ -51,11 +62,25 @@ class JobSpec:
         producing exactly the pairs the equivalent keyword overrides
         would — content hashes are identical either way. Explicit
         ``overrides`` win over ``options`` on key collisions.
+
+        When ``app`` names a registered workload (and no explicit
+        ``workload`` is given), the registered spec is attached so the
+        job stays self-contained across process boundaries.
         """
         merged = dict(options.to_overrides()) if options is not None else {}
         merged.update(overrides or {})
         params = tuple(sorted(merged.items()))
-        return cls(app=app, arch=arch, config=config, scale=scale, params=params)
+        if workload is None:
+            from repro.workloads.spec import registered_workload
+
+            workload = registered_workload(app)
+        elif workload.name != app:
+            raise ValueError(
+                f"job app {app!r} does not match its attached workload "
+                f"{workload.name!r}"
+            )
+        return cls(app=app, arch=arch, config=config, scale=scale,
+                   params=params, workload=workload)
 
     @property
     def overrides(self) -> dict[str, Any]:

@@ -46,7 +46,9 @@ from repro.options import RUN_OPTION_FIELDS, RunOptions
 from repro.runner.spec import JobSpec
 
 #: Bump on any incompatible change to the JSON job document shape.
-JOB_SCHEMA_VERSION = 1
+#: v2: optional ``workload`` member carrying a declarative workload
+#: document (``repro.workloads.spec``) for non-Table-2 apps.
+JOB_SCHEMA_VERSION = 2
 
 #: Override keys whose values are dataclasses (encoded as field dicts).
 _DATACLASS_OVERRIDES = {"lb_config": LinebackerConfig}
@@ -139,6 +141,10 @@ def encode_jobspec(spec: JobSpec) -> dict:
         doc["options"] = opt_fields
     if overrides:
         doc["overrides"] = overrides
+    if spec.workload is not None:
+        from repro.workloads.spec import encode_workload
+
+        doc["workload"] = encode_workload(spec.workload)
     return doc
 
 
@@ -153,7 +159,7 @@ def decode_jobspec(doc: Any) -> JobSpec:
             f"speaks {JOB_SCHEMA_VERSION}); upgrade the older peer"
         )
     unknown = set(doc) - {"schema", "app", "arch", "scale", "config",
-                          "options", "overrides"}
+                          "options", "overrides", "workload"}
     if unknown:
         raise SchemaError(f"job: unknown field(s) {sorted(unknown)}")
 
@@ -164,10 +170,38 @@ def decode_jobspec(doc: Any) -> JobSpec:
     # Validate against the registries up front so a typo comes back as
     # a 400 with the known names, not a worker-side traceback.
     from repro.runner.registry import ARCHITECTURES
+    from repro.workloads.spec import (
+        WorkloadSpecError,
+        decode_workload,
+        registered_workload,
+    )
     from repro.workloads.suite import ALL_APPS
 
-    if app not in ALL_APPS:
-        raise SchemaError(f"unknown app {app!r}; known: {', '.join(ALL_APPS)}")
+    workload = None
+    if "workload" in doc:
+        try:
+            workload = decode_workload(doc["workload"])
+        except WorkloadSpecError as exc:
+            raise SchemaError(f"workload: {exc}") from None
+        if workload.name != app:
+            raise SchemaError(
+                f"job app {app!r} does not match its workload document "
+                f"{workload.name!r}"
+            )
+        if app in ALL_APPS:
+            raise SchemaError(
+                f"app {app!r} is a built-in Table-2 app and cannot carry "
+                "a workload document"
+            )
+    elif app not in ALL_APPS:
+        # A coordinator may have the workload registered locally (e.g.
+        # loaded from a corpus dir at boot); otherwise the name is a typo.
+        workload = registered_workload(app)
+        if workload is None:
+            raise SchemaError(
+                f"unknown app {app!r}; known: {', '.join(ALL_APPS)} "
+                "(or attach a 'workload' document)"
+            )
     if arch not in ARCHITECTURES:
         raise SchemaError(
             f"unknown architecture {arch!r}; known: "
@@ -221,4 +255,5 @@ def decode_jobspec(doc: Any) -> JobSpec:
         scale=float(scale),
         overrides=overrides,
         options=options,
+        workload=workload,
     )

@@ -89,6 +89,16 @@ class AppSpec:
         """Disjoint, stable address regions per static load."""
         return (load_index + 1) << 22
 
+    def store_region_base(self) -> int:
+        """Base of the store output region, past every load region.
+
+        A method (not a constant in :func:`_warp_stream`) so composed
+        workloads — multi-phase or multi-tenant kernels that relocate
+        their load regions — can relocate store traffic consistently
+        and never alias another phase's loads.
+        """
+        return (len(self.loads) + 2) << 22
+
 
 _MIX = 0x9E3779B1  # Fibonacci hashing constant for address scrambling.
 _MASK32 = 0xFFFFFFFF
@@ -166,7 +176,7 @@ def _warp_stream(spec: AppSpec, cta_id: int, warp: int) -> Iterator[Instruction]
     # loop body: a pre-built block avoids the memo probe per emission.
     alu_block = (alu(pc=0x10),) * alu_ops
     stream_counters = [0] * len(spec.loads)
-    store_base = (len(spec.loads) + 2) << 22
+    store_base = spec.store_region_base()
 
     for t in range(spec.iterations):
         yield from alu_block

@@ -234,5 +234,22 @@ def app_spec(name: str, scale: float = 1.0) -> AppSpec:
 
 
 def kernel_for(name: str, scale: float = 1.0) -> KernelTrace:
-    """Build the KernelTrace for one of the 20 applications."""
-    return build_kernel(app_spec(name, scale))
+    """Build the KernelTrace for an application by name.
+
+    Table-2 apps take priority; any other name falls back to the
+    process-local workload registry (file-defined / fuzzed specs made
+    first-class via :func:`repro.workloads.spec.register_workload`).
+    """
+    if name in APP_SPECS:
+        return build_kernel(app_spec(name, scale))
+    # Deferred import: spec.py imports this module for the registry's
+    # shadowing check.
+    from repro.workloads.spec import build_workload, registered_workload
+
+    workload = registered_workload(name)
+    if workload is None:
+        raise KeyError(
+            f"unknown app {name!r}: not a Table-2 app and no registered "
+            "workload by that name"
+        )
+    return build_workload(workload, scale)

@@ -23,12 +23,24 @@ from repro.runner.registry import resolve
 from repro.workloads.suite import kernel_for
 
 GOLDEN_PATH = Path(__file__).parent / "golden_stats.json"
+FUZZ_CORPUS_DIR = Path(__file__).parent / "fuzz_corpus"
 
 #: Two suite apps: one cache-sensitive (S2), one insensitive (LI).
 GOLDEN_APPS = ("S2", "LI")
+#: Committed fuzz-corpus specs (one per adversarial family): file-defined
+#: workloads exercising the declarative spec path end to end, pinned at
+#: full scale (their grids are already small by construction).
+GOLDEN_FUZZ_SPECS = ("thrasher", "multikernel", "multitenant")
 GOLDEN_ARCHS = ("baseline", "best_swl", "linebacker")
 GOLDEN_SCALE = 0.25
 GOLDEN_SMS = 2
+
+
+def corpus_workload(name: str):
+    """Load one committed fuzz-corpus spec by stable name."""
+    from repro.workloads.spec import load_workload_file
+
+    return load_workload_file(FUZZ_CORPUS_DIR / f"{name}.json")
 
 
 def result_fingerprint(result) -> dict:
@@ -75,6 +87,13 @@ def golden_spec(app: str, arch: str):
     """The golden matrix cell as an engine :class:`JobSpec`."""
     from repro.runner import JobSpec
 
+    if app in GOLDEN_FUZZ_SPECS:
+        return JobSpec.build(
+            app=app,
+            arch=arch,
+            config=scaled_config(num_sms=GOLDEN_SMS),
+            workload=corpus_workload(app),
+        )
     return JobSpec.build(
         app=app,
         arch=arch,
@@ -86,7 +105,12 @@ def golden_spec(app: str, arch: str):
 def fingerprint(app: str, arch: str) -> dict:
     """Run one (app, arch) simulation and fingerprint its statistics."""
     config = scaled_config(num_sms=GOLDEN_SMS)
-    kernel = kernel_for(app, GOLDEN_SCALE)
+    if app in GOLDEN_FUZZ_SPECS:
+        from repro.workloads.spec import build_workload
+
+        kernel = build_workload(corpus_workload(app))
+    else:
+        kernel = kernel_for(app, GOLDEN_SCALE)
     value = resolve(arch).runner(config, kernel)
     return fingerprint_value(arch, value)
 
@@ -94,7 +118,7 @@ def fingerprint(app: str, arch: str) -> dict:
 def collect() -> dict:
     return {
         f"{arch}:{app}": fingerprint(app, arch)
-        for app in GOLDEN_APPS
+        for app in (*GOLDEN_APPS, *GOLDEN_FUZZ_SPECS)
         for arch in GOLDEN_ARCHS
     }
 

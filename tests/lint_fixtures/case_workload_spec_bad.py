@@ -1,0 +1,30 @@
+"""Seeded drift on the workload-spec document surface.
+
+``encode_workload`` emits ``shared_mem_per_cta`` outside the decoder's
+closed world, and ``decode_workload`` reads ``priority`` the encoder
+never emits — two ``schema-twin-drift`` findings.
+"""
+
+WORKLOAD_SPEC_VERSION = 7
+
+
+def encode_workload(spec):
+    return {
+        "spec": WORKLOAD_SPEC_VERSION,
+        "name": spec.name,
+        "num_ctas": spec.num_ctas,
+        "shared_mem_per_cta": spec.shared_mem_per_cta,  # drift: decoder drops it
+    }
+
+
+def decode_workload(doc):
+    unknown = set(doc) - {"spec", "name", "num_ctas"}
+    if unknown:
+        raise ValueError(f"unknown workload fields: {sorted(unknown)}")
+    if doc.get("spec") != WORKLOAD_SPEC_VERSION:
+        raise ValueError("workload spec version mismatch")
+    return (
+        doc.get("name"),
+        int(doc.get("num_ctas", 1)),
+        doc.get("priority"),  # drift: encoder never emits "priority"
+    )

@@ -1,0 +1,26 @@
+"""Twin of ``case_workload_spec_bad.py`` with the workload-spec
+encode/decode pair in sync. Must lint clean."""
+
+WORKLOAD_SPEC_VERSION = 7
+
+
+def encode_workload(spec):
+    return {
+        "spec": WORKLOAD_SPEC_VERSION,
+        "name": spec.name,
+        "num_ctas": spec.num_ctas,
+        "shared_mem_per_cta": spec.shared_mem_per_cta,
+    }
+
+
+def decode_workload(doc):
+    unknown = set(doc) - {"spec", "name", "num_ctas", "shared_mem_per_cta"}
+    if unknown:
+        raise ValueError(f"unknown workload fields: {sorted(unknown)}")
+    if doc.get("spec") != WORKLOAD_SPEC_VERSION:
+        raise ValueError("workload spec version mismatch")
+    return (
+        doc.get("name"),
+        int(doc.get("num_ctas", 1)),
+        int(doc.get("shared_mem_per_cta", 0)),
+    )

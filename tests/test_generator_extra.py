@@ -1,11 +1,11 @@
 """Additional workload-generator coverage: WARP scope, strides,
 reuse bursts, weights, and the scramble hash quality."""
 
+import sys
 from collections import Counter
+from pathlib import Path
 
-from repro.gpu.isa import Op
 from repro.workloads.generator import (
-    AppSpec,
     LoadSpec,
     Pattern,
     Scope,
@@ -13,22 +13,12 @@ from repro.workloads.generator import (
     build_kernel,
 )
 
+sys.path.insert(0, str(Path(__file__).parent))
+from workload_helpers import lines_of, make_app  # noqa: E402
+
 
 def spec_with(load, iters=20, warps=2, ctas=2, alu=1):
-    return AppSpec(
-        name="t", description="t", cache_sensitive=True,
-        num_ctas=ctas, warps_per_cta=warps, regs_per_thread=8,
-        iterations=iters, alu_per_iteration=alu, loads=(load,),
-    )
-
-
-def lines_of(kernel, cta, warp):
-    return [
-        a
-        for inst in kernel.materialize(cta, warp)
-        if inst.op is Op.LOAD
-        for a in inst.line_addrs
-    ]
+    return make_app(load, iters=iters, warps=warps, ctas=ctas, alu=alu)
 
 
 class TestWarpScope:

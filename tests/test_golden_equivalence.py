@@ -28,6 +28,7 @@ sys.path.insert(0, str(Path(__file__).parent))
 from golden import (  # noqa: E402
     GOLDEN_APPS,
     GOLDEN_ARCHS,
+    GOLDEN_FUZZ_SPECS,
     GOLDEN_PATH,
     fingerprint,
     fingerprint_value,
@@ -63,8 +64,33 @@ def test_statistics_bit_identical(golden, app: str, arch: str) -> None:
     )
 
 
+@pytest.mark.parametrize("arch", GOLDEN_ARCHS)
+@pytest.mark.parametrize("name", GOLDEN_FUZZ_SPECS)
+def test_fuzz_corpus_statistics_bit_identical(golden, name: str, arch: str) -> None:
+    """The committed fuzz-corpus specs are pinned exactly like the
+    suite apps: the declarative-workload build path (spec document ->
+    compiled tenants -> trace) must stay semantically frozen too."""
+    key = f"{arch}:{name}"
+    assert key in golden, f"{key} not pinned; regenerate the golden file"
+    current = fingerprint(name, arch)
+    expected = golden[key]
+    mismatches = {
+        stat: (expected.get(stat), current.get(stat))
+        for stat in set(expected) | set(current)
+        if expected.get(stat) != current.get(stat)
+    }
+    assert not mismatches, (
+        f"{key}: workload-spec path shifted simulation semantics "
+        f"(golden, current): {mismatches}"
+    )
+
+
 def test_golden_file_covers_matrix(golden) -> None:
-    expected_keys = {f"{arch}:{app}" for app in GOLDEN_APPS for arch in GOLDEN_ARCHS}
+    expected_keys = {
+        f"{arch}:{app}"
+        for app in (*GOLDEN_APPS, *GOLDEN_FUZZ_SPECS)
+        for arch in GOLDEN_ARCHS
+    }
     assert expected_keys <= set(golden)
 
 
@@ -82,6 +108,9 @@ def test_executor_differential_bit_identical(golden, executor: str) -> None:
     specs = [
         golden_spec(app, arch) for app in GOLDEN_APPS for arch in GOLDEN_ARCHS
     ]
+    # One corpus spec per executor leg: the attached WorkloadSpec must
+    # survive pickling across the pool / wire / worker boundary intact.
+    specs += [golden_spec(name, "linebacker") for name in GOLDEN_FUZZ_SPECS]
     runner = ExperimentRunner(workers=2, use_cache=False, executor=executor)
     results = runner.run_many(specs)
     mismatches = {}

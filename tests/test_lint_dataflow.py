@@ -418,7 +418,7 @@ def test_run_options_field_deletion_demands_a_version_bump(tmp_path):
     assert [f.rule for f in drifted.findings] == ["schema-version-unbumped"]
     assert "run-options" in drifted.findings[0].message
 
-    mutate(root / "schema.py", "JOB_SCHEMA_VERSION = 1", "JOB_SCHEMA_VERSION = 2")
+    mutate(root / "schema.py", "JOB_SCHEMA_VERSION = 2", "JOB_SCHEMA_VERSION = 3")
     assert drift_lint(root, baseline).findings == []  # bump acknowledges it
 
 
@@ -430,14 +430,73 @@ def test_http_job_field_deletion_demands_a_version_bump(tmp_path):
     # Drop "options" from *both* sides so the twins stay consistent:
     # only the recorded fingerprint disagrees.
     mutate(root / "schema.py", 'doc["options"] = opt_fields', "pass")
-    mutate(root / "schema.py", '"options", "overrides"}', '"overrides"}')
+    mutate(root / "schema.py", '"options", "overrides", "workload"}',
+           '"overrides", "workload"}')
     mutate(root / "schema.py", 'opt_doc = doc.get("options", {})', "opt_doc = {}")
     drifted = drift_lint(root, baseline)
     assert [f.rule for f in drifted.findings] == ["schema-version-unbumped"]
     assert "http-job" in drifted.findings[0].message
 
-    mutate(root / "schema.py", "JOB_SCHEMA_VERSION = 1", "JOB_SCHEMA_VERSION = 2")
+    mutate(root / "schema.py", "JOB_SCHEMA_VERSION = 2", "JOB_SCHEMA_VERSION = 3")
     assert drift_lint(root, baseline).findings == []
+
+
+# ---------------------------------------------------------------------------
+# Protocol drift on the workload-spec surface (fixture twins)
+# ---------------------------------------------------------------------------
+def test_workload_spec_fixture_pair():
+    bad = drift_lint_paths([FIXTURES / "case_workload_spec_bad.py"])
+    assert sorted(f.rule for f in bad.findings) == [
+        "schema-twin-drift", "schema-twin-drift",
+    ]
+    messages = " ".join(f.message for f in bad.findings)
+    assert "'shared_mem_per_cta'" in messages
+    assert "'priority'" in messages
+    assert all("workload-spec" in f.message for f in bad.findings)
+
+    clean = drift_lint_paths([FIXTURES / "case_workload_spec_clean.py"])
+    assert clean.findings == []
+
+
+def test_real_workload_spec_surface_is_in_sync(tmp_path):
+    dest = tmp_path / "spec.py"
+    dest.write_text(
+        (SRC / "workloads/spec.py").read_text(encoding="utf-8"),
+        encoding="utf-8",
+    )
+    result = drift_lint(tmp_path)
+    assert result.findings == []
+    assert "workload-spec" in result.schemas
+
+
+def test_workload_field_deletion_demands_a_version_bump(tmp_path):
+    dest = tmp_path / "spec.py"
+    dest.write_text(
+        (SRC / "workloads/spec.py").read_text(encoding="utf-8"),
+        encoding="utf-8",
+    )
+    baseline = tmp_path / "baseline.json"
+    write_baseline(baseline, [], schemas=drift_lint(tmp_path).schemas)
+    assert drift_lint(tmp_path, baseline).findings == []
+
+    # Drop "description" from both twins: only the fingerprint knows.
+    mutate(dest, '        "description": spec.description,\n', "")
+    mutate(dest, '"name", "description", "num_ctas"', '"name", "num_ctas"')
+    mutate(dest, 'description = top.get("description", "")',
+           'description = ""')
+    drifted = drift_lint(tmp_path, baseline)
+    assert [f.rule for f in drifted.findings] == ["schema-version-unbumped"]
+    assert "workload-spec" in drifted.findings[0].message
+    assert "WORKLOAD_SPEC_VERSION" in drifted.findings[0].message
+
+    mutate(dest, "WORKLOAD_SPEC_VERSION = 1", "WORKLOAD_SPEC_VERSION = 2")
+    assert drift_lint(tmp_path, baseline).findings == []
+
+
+def drift_lint_paths(paths):
+    return run_lint(
+        paths=paths, root=FIXTURES, pass_names=["protocol-drift"],
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -7,6 +7,9 @@ stays inside the configured range and is injective, backup/restore is
 a lossless round trip, and the hashed PC always fits its width.
 """
 
+import sys
+from pathlib import Path
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -18,6 +21,10 @@ from repro.gpu.register_file import RegisterFile
 from repro.memory.cache import SetAssociativeCache
 from repro.memory.mshr import MSHRFile
 from repro.memory.subsystem import MemorySubsystem
+from repro.workloads.generator import LoadSpec, Pattern, Scope, build_kernel
+
+sys.path.insert(0, str(Path(__file__).parent))
+from workload_helpers import lines_of, make_app  # noqa: E402
 
 addresses = st.integers(min_value=0, max_value=1 << 20)
 
@@ -226,3 +233,91 @@ class TestRegisterFileProperties:
         total = sum(sizes)
         if total <= rf.num_registers:
             assert rf.allocate(total, owner=99) is not None
+
+
+class TestGeneratorProperties:
+    """Workload-generator invariants the classifier and fuzzer gates
+    lean on: streams never revisit, reuse stays inside its declared
+    working set, per-entity scopes never alias, and generation is a
+    pure function of the spec."""
+
+    @given(st.integers(1, 60), st.integers(1, 3), st.integers(2, 4),
+           st.integers(2, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_stream_never_revisits_a_line(self, iters, weight, warps, ctas):
+        spec = make_app(
+            LoadSpec(0x100, Pattern.STREAM, 0, weight=weight),
+            iters=iters, warps=warps, ctas=ctas,
+        )
+        kernel = build_kernel(spec)
+        seen = set()
+        for cta in range(ctas):
+            for warp in range(warps):
+                for line in lines_of(kernel, cta, warp):
+                    assert line not in seen, "stream revisited a line"
+                    seen.add(line)
+
+    @given(st.integers(1, 96), st.integers(1, 7), st.integers(1, 4),
+           st.integers(1, 60))
+    @settings(max_examples=40, deadline=None)
+    def test_reuse_stays_within_working_set(self, ws, stride, burst, iters):
+        spec = make_app(
+            LoadSpec(0x100, Pattern.REUSE, ws, stride=stride,
+                     reuse_burst=burst),
+            iters=iters, warps=2, ctas=2,
+        )
+        kernel = build_kernel(spec)
+        lines = set(lines_of(kernel, 0, 0)) | set(lines_of(kernel, 1, 1))
+        assert len(lines) <= 2 * ws  # GLOBAL scope: one region, phase-shifted
+
+        scoped = make_app(
+            LoadSpec(0x100, Pattern.REUSE, ws, Scope.WARP, stride=stride,
+                     reuse_burst=burst),
+            iters=iters, warps=2, ctas=2,
+        )
+        k2 = build_kernel(scoped)
+        for cta in range(2):
+            for warp in range(2):
+                assert len(set(lines_of(k2, cta, warp))) <= ws
+
+    @given(st.integers(1, 32), st.integers(1, 40),
+           st.sampled_from([Pattern.REUSE, Pattern.DIVERGENT]))
+    @settings(max_examples=40, deadline=None)
+    def test_warp_and_cta_scopes_never_alias(self, ws, iters, pattern):
+        spec = make_app(
+            LoadSpec(0x100, pattern, ws, Scope.WARP),
+            iters=iters, warps=2, ctas=2,
+        )
+        kernel = build_kernel(spec)
+        per_warp = [
+            set(lines_of(kernel, cta, warp))
+            for cta in range(2) for warp in range(2)
+        ]
+        for i in range(len(per_warp)):
+            for j in range(i + 1, len(per_warp)):
+                assert not (per_warp[i] & per_warp[j]), "warp regions alias"
+
+        cta_spec = make_app(
+            LoadSpec(0x100, pattern, ws, Scope.CTA),
+            iters=iters, warps=2, ctas=3,
+        )
+        k2 = build_kernel(cta_spec)
+        per_cta = [
+            set(lines_of(k2, cta, 0)) | set(lines_of(k2, cta, 1))
+            for cta in range(3)
+        ]
+        for i in range(len(per_cta)):
+            for j in range(i + 1, len(per_cta)):
+                assert not (per_cta[i] & per_cta[j]), "CTA regions alias"
+
+    @given(st.integers(0, 2), st.integers(0, 1), st.integers(1, 30),
+           st.sampled_from([Pattern.STREAM, Pattern.REUSE, Pattern.DIVERGENT]))
+    @settings(max_examples=40, deadline=None)
+    def test_trace_generation_is_deterministic(self, cta, warp, iters, pattern):
+        ws = 0 if pattern is Pattern.STREAM else 16
+        spec = make_app(
+            LoadSpec(0x100, pattern, ws, lines_per_access=2),
+            iters=iters, warps=2, ctas=3,
+        )
+        k1, k2 = build_kernel(spec), build_kernel(spec)
+        assert list(k1.materialize(cta, warp)) == list(k2.materialize(cta, warp))

@@ -30,6 +30,7 @@ TEST_MODULES = {
     "test_capability_flags",
     "test_ccws",
     "test_charts",
+    "test_classify",
     "test_cli",
     "test_combos",
     "test_config",
@@ -39,6 +40,7 @@ TEST_MODULES = {
     "test_dram_timing",
     "test_extension",
     "test_failure_paths",
+    "test_fuzz",
     "test_generator_extra",
     "test_golden_equivalence",
     "test_interconnect",
@@ -63,12 +65,13 @@ TEST_MODULES = {
     "test_victim_tag_table",
     "test_warp_scheduler",
     "test_workflow_protocol",
+    "test_workload_spec",
     "test_workloads",
 }
 
 #: Importable helper modules that are *not* collected as tests but are
 #: part of the test tree's public surface.
-SUPPORT_MODULES = {"__init__", "fault_injection", "golden"}
+SUPPORT_MODULES = {"__init__", "fault_injection", "golden", "workload_helpers"}
 
 #: name -> (num_ctas, warps_per_cta, regs_per_thread, n_loads, has_stream)
 MANIFEST = {

@@ -1,5 +1,8 @@
 """Tests for the synthetic workload suite (paper Table 2 stand-ins)."""
 
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.config import GPUConfig
@@ -22,6 +25,9 @@ from repro.workloads.suite import (
     app_spec,
     kernel_for,
 )
+
+sys.path.insert(0, str(Path(__file__).parent))
+from workload_helpers import make_app  # noqa: E402
 
 
 class TestSuiteShape:
@@ -68,11 +74,7 @@ class TestSuiteShape:
 
 class TestGeneratedTraces:
     def spec(self, loads, iters=10, warps=2, ctas=2):
-        return AppSpec(
-            name="t", description="t", cache_sensitive=True,
-            num_ctas=ctas, warps_per_cta=warps, regs_per_thread=8,
-            iterations=iters, alu_per_iteration=2, loads=tuple(loads),
-        )
+        return make_app(loads, iters=iters, warps=warps, ctas=ctas)
 
     def test_trace_ends_with_exit(self):
         spec = self.spec([LoadSpec(0x100, Pattern.REUSE, 8)])

@@ -1,0 +1,30 @@
+"""Shared builders for synthetic single-app workload tests.
+
+``test_workloads.py`` and ``test_generator_extra.py`` grew identical
+ad-hoc AppSpec builders; the fuzzer/classifier tests need the same
+shapes again, so the construction lives here once.
+"""
+
+from repro.gpu.isa import Op
+from repro.workloads.generator import AppSpec
+
+
+def make_app(loads, iters=10, warps=2, ctas=2, alu=2, regs=8, name="t"):
+    """A minimal synthetic :class:`AppSpec` around ``loads``."""
+    if not isinstance(loads, (tuple, list)):
+        loads = (loads,)
+    return AppSpec(
+        name=name, description="t", cache_sensitive=True,
+        num_ctas=ctas, warps_per_cta=warps, regs_per_thread=regs,
+        iterations=iters, alu_per_iteration=alu, loads=tuple(loads),
+    )
+
+
+def lines_of(kernel, cta, warp):
+    """Every line address one warp's loads touch, in issue order."""
+    return [
+        a
+        for inst in kernel.materialize(cta, warp)
+        if inst.op is Op.LOAD
+        for a in inst.line_addrs
+    ]
