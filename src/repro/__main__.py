@@ -167,6 +167,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="record per-window timeseries on every supporting "
         "architecture (distinct cache keys from scalar runs)",
     )
+    run_p.add_argument(
+        "--backend",
+        choices=("object", "vector"),
+        default=None,
+        help="execution engine for every supporting architecture "
+        "(distinct cache keys per backend; archs that cannot run it "
+        "keep the default engine)",
+    )
 
     trace_p = sub.add_parser(
         "trace", help="per-window timeseries of one (app, architecture) run"
@@ -189,6 +197,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace_p.add_argument(
         "--output", default=None, help="write the output to this path instead of stdout"
+    )
+    trace_p.add_argument(
+        "--backend",
+        choices=("object", "vector"),
+        default=None,
+        help="execution engine (timeseries recording is object-only "
+        "today, so a vector request falls back loudly)",
     )
 
     worker_p = sub.add_parser(
@@ -235,6 +250,11 @@ def build_parser() -> argparse.ArgumentParser:
     submit_p.add_argument("--sms", type=int, default=4, help="number of SMs")
     submit_p.add_argument("--timeseries", action="store_true",
                           help="request per-window timeseries recording")
+    submit_p.add_argument("--backend",
+                          choices=("object", "vector"),
+                          default=None,
+                          help="execution engine (validated against the "
+                          "architecture's supports_backends capability)")
     submit_p.add_argument("--no-wait", action="store_true",
                           help="print job ids and exit without polling")
     submit_p.add_argument("--timeout", type=float, default=600.0,
@@ -281,6 +301,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="also gate the geomean instructions/sec against the "
         "baseline at this fractional tolerance (e.g. 0.02)",
     )
+    bench_p.add_argument(
+        "--backend",
+        choices=("object", "vector"),
+        default=None,
+        help="execution engine to benchmark (default: object)",
+    )
+    bench_p.add_argument(
+        "--native",
+        action="store_true",
+        help="the paper's native configuration: 16 SMs, scale 1.0, "
+        "50,000-cycle windows (overrides --scale/--sms)",
+    )
+    bench_p.add_argument(
+        "--record",
+        default=None,
+        metavar="HISTORY",
+        help="append this run as a new entry to the given history file "
+        "(e.g. BENCH_sim.json); existing entries are never rewritten",
+    )
 
     lint_p = sub.add_parser(
         "lint",
@@ -312,6 +351,12 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_p.add_argument("--minimize", action="store_true",
                         help="greedily shrink each failing spec and write "
                         "<name>.min.json next to it (or print it)")
+    fuzz_p.add_argument("--backend",
+                        choices=("object", "vector"),
+                        default=None,
+                        help="execution engine for the differential "
+                        "harness; non-default engines add a "
+                        "backend-vs-object bit-identity gate")
 
     cache_p = sub.add_parser("cache", help="inspect or clear the result cache")
     cache_p.add_argument("action", choices=("info", "clear"))
@@ -349,7 +394,14 @@ def _cmd_overhead() -> int:
 
 
 def _cmd_bench(args, parser: argparse.ArgumentParser) -> int:
-    from repro.bench import SimThroughput, compare_reports, load_report, write_report
+    from repro.bench import (
+        SimThroughput,
+        append_history,
+        compare_reports,
+        latest_entry,
+        load_history,
+        write_report,
+    )
 
     apps = tuple(a for a in args.apps.split(",") if a) or ALL_APPS
     unknown = set(apps) - set(ALL_APPS)
@@ -357,12 +409,19 @@ def _cmd_bench(args, parser: argparse.ArgumentParser) -> int:
         parser.error(f"unknown apps: {sorted(unknown)}")
     if args.reps < 1:
         parser.error("--reps must be at least 1")
+    scale, sms, window_cycles = args.scale, args.sms, 2_000
+    if args.native:
+        # The paper's Table 1/3 machine: unscaled traces on 16 SMs
+        # with the 50,000-cycle monitoring window.
+        scale, sms, window_cycles = 1.0, 16, 50_000
     harness = SimThroughput(
-        apps=apps, scale=args.scale, num_sms=args.sms, reps=args.reps
+        apps=apps, scale=scale, num_sms=sms, reps=args.reps,
+        backend=args.backend, window_cycles=window_cycles,
     )
     print(
-        f"benchmarking {len(apps)} apps at scale {args.scale}, {args.sms} SMs, "
-        f"{args.reps} rep(s) per app (cold runs, result cache bypassed)...",
+        f"benchmarking {len(apps)} apps at scale {scale}, {sms} SMs, "
+        f"{args.reps} rep(s) per app on the {args.backend or 'object'} "
+        "backend (cold runs, result cache bypassed)...",
         file=sys.stderr,
     )
 
@@ -385,10 +444,28 @@ def _cmd_bench(args, parser: argparse.ArgumentParser) -> int:
     if args.output:
         write_report(report, args.output)
         print(f"report written to {args.output}", file=sys.stderr)
+    if args.record:
+        entry = append_history(report, args.record)
+        print(
+            f"history entry appended to {args.record} "
+            f"(backend {entry['backend']}, commit "
+            f"{entry.get('commit', '?')})",
+            file=sys.stderr,
+        )
     if args.check_against:
+        baseline = latest_entry(
+            load_history(args.check_against), backend=report.backend
+        )
+        if baseline is None:
+            print(
+                f"no {report.backend!r} entry in {args.check_against} to "
+                "gate against",
+                file=sys.stderr,
+            )
+            return 1
         problems = compare_reports(
             report,
-            load_report(args.check_against),
+            baseline,
             tolerance=args.tolerance,
             geomean_tolerance=args.geomean_tolerance,
         )
@@ -401,7 +478,7 @@ def _cmd_bench(args, parser: argparse.ArgumentParser) -> int:
             return 1
         print(
             f"no regression vs {args.check_against} "
-            f"(tolerance {args.tolerance:.0%})",
+            f"(newest {report.backend} entry, tolerance {args.tolerance:.0%})",
             file=sys.stderr,
         )
     return 0
@@ -433,7 +510,7 @@ def _cmd_trace(args, parser: argparse.ArgumentParser) -> int:
         f"({args.sms} SMs, window = {config.linebacker.window_cycles} cycles)...",
         file=sys.stderr,
     )
-    result = arch.runner(config, kernel, timeseries=True)
+    result = arch.runner(config, kernel, timeseries=True, backend=args.backend)
     series = result.timeseries[args.sm]
     rows = list(series)
 
@@ -562,6 +639,15 @@ def _cmd_submit(args, parser: argparse.ArgumentParser) -> int:
         parser.error(
             f"architecture {args.arch!r} does not support timeseries recording"
         )
+    if (
+        args.backend is not None
+        and args.backend not in ARCHITECTURES[args.arch].supports_backends
+    ):
+        parser.error(
+            f"architecture {args.arch!r} does not support the "
+            f"{args.backend!r} backend (supported: "
+            f"{', '.join(ARCHITECTURES[args.arch].supports_backends)})"
+        )
     try:
         session = Session.connect(
             args.url,
@@ -571,7 +657,7 @@ def _cmd_submit(args, parser: argparse.ArgumentParser) -> int:
     except ServiceError as exc:
         print(f"submit: {exc}", file=sys.stderr)
         return 1
-    options = RunOptions(timeseries=args.timeseries)
+    options = RunOptions(timeseries=args.timeseries, backend=args.backend)
     handles = session.run_many(
         [session.spec(app, args.arch, options=options) for app in apps]
     )
@@ -630,7 +716,9 @@ def _cmd_fuzz(args, parser: argparse.ArgumentParser) -> int:
     def all_problems(spec) -> list[str]:
         problems, _ = check_gates(spec, scale=args.scale)
         if not args.no_simulate:
-            problems += differential_check(spec, scale=args.scale, sms=args.sms)
+            problems += differential_check(
+                spec, scale=args.scale, sms=args.sms, backend=args.backend
+            )
         return problems
 
     failures = 0
@@ -713,7 +801,10 @@ def _cmd_run(args, parser: argparse.ArgumentParser) -> int:
         scale=args.scale,
         apps=apps,
         runner=runner,
-        default_overrides={"timeseries": True} if args.timeseries else {},
+        default_overrides={
+            **({"timeseries": True} if args.timeseries else {}),
+            **({"backend": args.backend} if args.backend else {}),
+        },
     )
     figure_runner, description = FIGURES[args.figure]
     print(

@@ -52,8 +52,17 @@ class ExperimentContext:
         """The content-hashed job naming one (app, arch) simulation."""
         if self.default_overrides:
             merged = dict(self.default_overrides)
-            if "timeseries" in merged and not resolve(arch).supports_timeseries:
+            spec = resolve(arch)
+            if "timeseries" in merged and not spec.supports_timeseries:
                 del merged["timeseries"]
+            if (
+                "backend" in merged
+                and merged["backend"] not in spec.supports_backends
+            ):
+                # An arch that can't run the requested engine keeps its
+                # plain cache key instead of warning-and-falling-back
+                # on every job of a figure sweep.
+                del merged["backend"]
             merged.update(overrides)
             overrides = merged
         return JobSpec.build(

@@ -177,9 +177,25 @@ class Session:
         config: Optional[SimulationConfig] = None,
         scale: Optional[float] = None,
         options: Optional[RunOptions] = None,
+        backend: Optional[str] = None,
         **overrides: Any,
     ) -> JobSpec:
-        """The content-hashed spec this session would submit."""
+        """The content-hashed spec this session would submit.
+
+        ``backend`` folds into the options (and therefore the content
+        hash): the same job on different engines never aliases in any
+        cache. Architectures that cannot run the requested engine are
+        rejected here, mirroring the ``supports_timeseries`` check in
+        :meth:`trace`.
+        """
+        if backend is not None:
+            supported = resolve(arch).supports_backends
+            if backend not in supported:
+                raise ValueError(
+                    f"architecture {arch!r} does not support the "
+                    f"{backend!r} backend (supported: {', '.join(supported)})"
+                )
+            options = (options or RunOptions()).replace(backend=backend)
         return JobSpec.build(
             app=app,
             arch=arch,
@@ -198,11 +214,12 @@ class Session:
         config: Optional[SimulationConfig] = None,
         scale: Optional[float] = None,
         options: Optional[RunOptions] = None,
+        backend: Optional[str] = None,
         **overrides: Any,
     ) -> JobHandle:
         """Submit one (app, arch) simulation; returns its handle."""
         return self.submit(self.spec(app, arch, config, scale, options,
-                                     **overrides))
+                                     backend, **overrides))
 
     def run_many(self, jobs: Iterable[JobLike]) -> list[JobHandle]:
         """Submit a batch; the fan-out / dedup point for sweeps.
@@ -231,6 +248,7 @@ class Session:
         config: Optional[SimulationConfig] = None,
         scale: Optional[float] = None,
         options: Optional[RunOptions] = None,
+        backend: Optional[str] = None,
         **overrides: Any,
     ) -> JobHandle:
         """A ``run`` with per-window timeseries recording forced on."""
@@ -240,7 +258,7 @@ class Session:
             )
         options = (options or RunOptions()).replace(timeseries=True)
         return self.run(app, arch, config=config, scale=scale,
-                        options=options, **overrides)
+                        options=options, backend=backend, **overrides)
 
     def submit(self, spec: JobSpec) -> JobHandle:
         """Submit one pre-built spec."""

@@ -28,6 +28,7 @@ from repro.gpu.gpu import (
     statically_unused_register_bytes,
 )
 from repro.gpu.trace import KernelTrace
+from repro.options import RunOptions
 
 
 def extended_l1_bytes(config: SimulationConfig, kernel: KernelTrace, extra_bytes: int) -> int:
@@ -53,14 +54,27 @@ def config_with_cache_ext(
     return replace(config, gpu=config.gpu.with_l1_size(new_size))
 
 
-def run_cache_ext(config: SimulationConfig, kernel: KernelTrace) -> SimulationResult:
+def run_cache_ext(
+    config: SimulationConfig,
+    kernel: KernelTrace,
+    backend: Optional[str] = None,
+) -> SimulationResult:
     """Baseline scheduling with an SUR-enlarged L1."""
-    return run_kernel(config_with_cache_ext(config, kernel), kernel)
+    return run_kernel(
+        config_with_cache_ext(config, kernel), kernel,
+        options=RunOptions(backend=backend),
+    )
 
 
 def run_swl_cache_ext(
-    config: SimulationConfig, kernel: KernelTrace, cta_limit: int
+    config: SimulationConfig,
+    kernel: KernelTrace,
+    cta_limit: int,
+    backend: Optional[str] = None,
 ) -> SimulationResult:
     """Static CTA limit with an (SUR+DUR)-enlarged L1."""
     ext_config = config_with_cache_ext(config, kernel, include_dur_for_limit=cta_limit)
-    return run_kernel(ext_config, kernel, max_concurrent_ctas=cta_limit)
+    return run_kernel(
+        ext_config, kernel,
+        options=RunOptions(max_concurrent_ctas=cta_limit, backend=backend),
+    )

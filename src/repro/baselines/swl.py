@@ -14,6 +14,7 @@ from typing import Optional
 
 from repro.config import SimulationConfig
 from repro.gpu.gpu import SimulationResult, run_kernel
+from repro.options import RunOptions
 from repro.gpu.sm import SM
 from repro.gpu.trace import KernelTrace
 
@@ -38,12 +39,18 @@ def run_swl(
     kernel: KernelTrace,
     cta_limit: int,
     keep_objects: bool = False,
+    backend: Optional[str] = None,
 ) -> SimulationResult:
     """Run with a static per-SM concurrent-CTA limit."""
     if cta_limit < 1:
         raise ValueError("CTA limit must be at least 1")
     return run_kernel(
-        config, kernel, max_concurrent_ctas=cta_limit, keep_objects=keep_objects
+        config, kernel,
+        options=RunOptions(
+            max_concurrent_ctas=cta_limit,
+            keep_objects=keep_objects,
+            backend=backend,
+        ),
     )
 
 
@@ -58,6 +65,7 @@ def best_swl(
     config: SimulationConfig,
     kernel: KernelTrace,
     cache_key: Optional[tuple] = None,
+    backend: Optional[str] = None,
 ) -> BestSWLResult:
     """The Best-SWL oracle: try every candidate limit, keep the best.
 
@@ -65,15 +73,19 @@ def best_swl(
     far the most expensive baseline, and several experiments normalize
     against it.
     """
-    if cache_key is not None and cache_key in _best_swl_cache:
-        return _best_swl_cache[cache_key]
+    if cache_key is not None:
+        # Different engines must never alias in the sweep memo, same
+        # rule as the persistent result cache.
+        cache_key = cache_key + (backend,)
+        if cache_key in _best_swl_cache:
+            return _best_swl_cache[cache_key]
 
     max_occ = SM.hardware_occupancy(config.gpu, kernel)
     sweep: dict[int, float] = {}
     best_limit = max_occ
     best_result: Optional[SimulationResult] = None
     for limit in sweep_limits(max_occ):
-        result = run_swl(config, kernel, limit)
+        result = run_swl(config, kernel, limit, backend=backend)
         sweep[limit] = result.ipc
         if best_result is None or result.ipc > best_result.ipc:
             best_result = result

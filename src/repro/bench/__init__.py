@@ -12,7 +12,10 @@ from repro.bench.sim_throughput import (
     AppThroughput,
     BenchReport,
     SimThroughput,
+    append_history,
     compare_reports,
+    latest_entry,
+    load_history,
     load_report,
     write_report,
 )
@@ -21,7 +24,10 @@ __all__ = [
     "AppThroughput",
     "BenchReport",
     "SimThroughput",
+    "append_history",
     "compare_reports",
+    "latest_entry",
+    "load_history",
     "load_report",
     "write_report",
 ]

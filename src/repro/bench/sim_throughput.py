@@ -9,9 +9,14 @@ clock — and each app takes the *minimum* over ``reps`` repetitions,
 since contention only ever slows a run down.
 
 The report is JSON-serializable; ``BENCH_sim.json`` at the repo root
-is the committed reference produced by ``python -m repro bench``. CI
-re-runs the harness at a reduced scale and fails when an app's
-throughput regresses more than the tolerance against that reference.
+is the committed reference produced by ``python -m repro bench``. The
+file is an **append-only history** (``{"history": [entry, ...]}``):
+every recorded run appends one entry tagged with its backend, scale,
+SM count and commit, so throughput trends stay plottable across the
+project's life. The regression gate compares against the *newest*
+entry for the same backend. CI re-runs the harness at a reduced scale
+and fails when an app's throughput regresses more than the tolerance
+against that reference.
 """
 
 from __future__ import annotations
@@ -23,13 +28,19 @@ import platform
 import time
 from dataclasses import asdict, dataclass, field
 
+from typing import Optional
+
 from repro.config import scaled_config
 from repro.gpu.gpu import run_kernel
+from repro.options import RunOptions
 from repro.workloads import ALL_APPS
 from repro.workloads.suite import kernel_for
 
-#: Schema version of the report file, bumped on incompatible changes.
-REPORT_VERSION = 1
+#: Schema version of one report entry, bumped on incompatible changes.
+#: v2: entries carry ``backend``/``window_cycles``/``recorded``/
+#: ``commit`` and live inside an append-only ``{"history": [...]}``
+#: envelope.
+REPORT_VERSION = 2
 
 
 @dataclass
@@ -68,6 +79,8 @@ class BenchReport:
     apps: list[AppThroughput] = field(default_factory=list)
     python: str = ""
     platform: str = ""
+    backend: str = "object"
+    window_cycles: int = 2_000
 
     @property
     def geomean_instructions_per_second(self) -> float:
@@ -84,8 +97,10 @@ class BenchReport:
     def to_json(self) -> dict:
         return {
             "version": REPORT_VERSION,
+            "backend": self.backend,
             "scale": self.scale,
             "num_sms": self.num_sms,
+            "window_cycles": self.window_cycles,
             "reps": self.reps,
             "python": self.python,
             "platform": self.platform,
@@ -122,19 +137,33 @@ class SimThroughput:
         scale: float = 0.25,
         num_sms: int = 2,
         reps: int = 1,
+        backend: Optional[str] = None,
+        window_cycles: int = 2_000,
     ) -> None:
         if reps < 1:
             raise ValueError("reps must be at least 1")
         unknown = set(apps) - set(ALL_APPS)
         if unknown:
             raise ValueError(f"unknown apps: {sorted(unknown)}")
+        if backend is not None:
+            from repro.engine import backend_names
+
+            if backend not in backend_names():
+                raise ValueError(
+                    f"unknown backend {backend!r}; known: "
+                    f"{', '.join(backend_names())}"
+                )
         self.apps = tuple(apps)
         self.scale = scale
         self.num_sms = num_sms
         self.reps = reps
+        self.backend = backend
+        self.window_cycles = window_cycles
 
     def run_app(self, app: str) -> AppThroughput:
-        config = scaled_config(num_sms=self.num_sms)
+        config = scaled_config(
+            num_sms=self.num_sms, window_cycles=self.window_cycles
+        )
         best_cpu = best_wall = float("inf")
         instructions = cycles = 0
         for _ in range(self.reps):
@@ -142,7 +171,9 @@ class SimThroughput:
             gc.collect()
             wall0 = time.perf_counter()
             cpu0 = time.process_time()
-            result = run_kernel(config, kernel)
+            result = run_kernel(
+                config, kernel, options=RunOptions(backend=self.backend)
+            )
             cpu = time.process_time() - cpu0
             wall = time.perf_counter() - wall0
             instructions = result.instructions
@@ -169,6 +200,8 @@ class SimThroughput:
             reps=self.reps,
             python=platform.python_version(),
             platform=platform.platform(),
+            backend=self.backend or "object",
+            window_cycles=self.window_cycles,
         )
         for app in self.apps:
             result = self.run_app(app)
@@ -180,6 +213,7 @@ class SimThroughput:
 
 # -- persistence and regression gating --------------------------------
 def write_report(report: BenchReport, path: str) -> None:
+    """Write one standalone report document (a CI artifact)."""
     with open(path, "w") as fh:
         json.dump(report.to_json(), fh, indent=2, sort_keys=False)
         fh.write("\n")
@@ -188,6 +222,63 @@ def write_report(report: BenchReport, path: str) -> None:
 def load_report(path: str) -> dict:
     with open(path) as fh:
         return json.load(fh)
+
+
+def _current_commit() -> str:
+    """Best-effort short commit hash for history provenance."""
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return ""
+    return out.stdout.strip() if out.returncode == 0 else ""
+
+
+def load_history(path: str) -> list[dict]:
+    """The entry list of a history file, oldest first.
+
+    Accepts both the ``{"history": [...]}`` envelope and the legacy
+    v1 single-report document (treated as a one-entry history), so a
+    gate pointed at an old committed reference keeps working.
+    """
+    doc = load_report(path)
+    if isinstance(doc, dict) and isinstance(doc.get("history"), list):
+        return doc["history"]
+    return [doc]
+
+
+def latest_entry(history: list[dict], backend: Optional[str] = None) -> Optional[dict]:
+    """The newest entry, optionally restricted to one backend.
+
+    Entries predating the ``backend`` field (v1) were all produced by
+    the object engine and match ``backend="object"``.
+    """
+    for entry in reversed(history):
+        if backend is None or entry.get("backend", "object") == backend:
+            return entry
+    return None
+
+
+def append_history(report: BenchReport, path: str) -> dict:
+    """Append ``report`` to the history file at ``path`` (append-only:
+    existing entries are never rewritten). Returns the new entry."""
+    import os
+
+    history = load_history(path) if os.path.exists(path) else []
+    entry = report.to_json()
+    entry["recorded"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    commit = _current_commit()
+    if commit:
+        entry["commit"] = commit
+    history.append(entry)
+    with open(path, "w") as fh:
+        json.dump({"history": history}, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return entry
 
 
 def compare_reports(

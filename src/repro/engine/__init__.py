@@ -1,0 +1,34 @@
+"""Pluggable execution backends for the cycle engine.
+
+See :mod:`repro.engine.base` for the architecture. Importing this
+package registers the built-in ``object`` and ``vector`` backends.
+"""
+
+from repro.engine.base import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    BackendError,
+    BackendFallbackWarning,
+    EngineBackend,
+    EngineRequest,
+    backend_names,
+    dispatch,
+    register_backend,
+    resolve_backend,
+    _register_builtin_backends,
+)
+
+_register_builtin_backends()
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "BackendError",
+    "BackendFallbackWarning",
+    "EngineBackend",
+    "EngineRequest",
+    "backend_names",
+    "dispatch",
+    "register_backend",
+    "resolve_backend",
+]

@@ -1,0 +1,161 @@
+"""Backend-neutral execution-engine layer.
+
+The simulation stack splits into two layers:
+
+* a **frontend** — workload/trace generation, architecture and
+  extension resolution, ``RunOptions``, result/snapshot assembly —
+  that is backend-agnostic, and
+* an **execution backend** that actually advances the machine state
+  cycle by cycle and produces a
+  :class:`~repro.gpu.gpu.SimulationResult`.
+
+A backend is any object satisfying :class:`EngineBackend`: it has a
+``name``, can say whether it ``supports`` a concrete request (returning
+``None`` or a human-readable reason string), and can ``run`` it. Two
+backends ship:
+
+``object``
+    The original event-driven ``GPU``/``SM`` engine, unchanged, behind
+    the interface (:mod:`repro.engine.object_backend`). Supports every
+    feature: extensions, load tracking, timeseries, live objects,
+    timing DRAM, the NoC.
+
+``vector``
+    A lean engine over struct-of-arrays state with numpy bulk trace
+    compilation (:mod:`repro.engine.vector`). Bit-identical to
+    ``object`` on every reported statistic, but only for the feature
+    subset it declares; anything else falls back to ``object`` loudly
+    (a :class:`BackendFallbackWarning`), never silently diverges.
+
+Selection is threaded through :class:`~repro.options.RunOptions`
+(``backend=None`` means :data:`DEFAULT_BACKEND`) and participates in
+job cache identity, so results computed by different backends never
+alias in the experiment cache.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.config import SimulationConfig
+    from repro.gpu.extension import SMExtension
+    from repro.gpu.gpu import SimulationResult
+    from repro.gpu.trace import KernelTrace
+
+#: Backend used when ``RunOptions.backend`` is None.
+DEFAULT_BACKEND = "object"
+
+
+class BackendError(ValueError):
+    """Unknown backend name or invalid backend request."""
+
+
+class BackendFallbackWarning(RuntimeWarning):
+    """A requested backend could not run the job and fell back.
+
+    Loud by design (the ISSUE's "fall back loudly, never silently
+    diverge"): tests that pin a backend can assert no fallback fired.
+    """
+
+
+@dataclass(frozen=True)
+class EngineRequest:
+    """One fully-resolved simulation request, backend-agnostic.
+
+    This is exactly the parameter surface of
+    :func:`repro.gpu.gpu.run_kernel` after option resolution — the
+    frontend builds it once and hands it to whichever backend wins.
+    """
+
+    config: "SimulationConfig"
+    kernel: "KernelTrace"
+    extension_factory: Optional[Callable[[], "SMExtension"]] = None
+    max_concurrent_ctas: Optional[int] = None
+    track_loads: bool = False
+    keep_objects: bool = False
+    timeseries: bool = False
+
+
+@runtime_checkable
+class EngineBackend(Protocol):
+    """The contract every execution backend implements."""
+
+    name: str
+
+    def supports(self, request: EngineRequest) -> Optional[str]:
+        """Return None when this backend can run ``request`` exactly,
+        else a short human-readable reason why not."""
+
+    def run(self, request: EngineRequest) -> "SimulationResult":
+        """Execute the request and return the standard result."""
+
+
+#: Registered backends by name. Populated at import time by
+#: :func:`_register_builtin_backends`; extensions could add more.
+BACKENDS: dict[str, EngineBackend] = {}
+
+
+def register_backend(backend: EngineBackend) -> None:
+    if backend.name in BACKENDS:
+        raise BackendError(f"backend {backend.name!r} already registered")
+    BACKENDS[backend.name] = backend
+
+
+def backend_names() -> tuple[str, ...]:
+    return tuple(sorted(BACKENDS))
+
+
+def resolve_backend(name: Optional[str]) -> EngineBackend:
+    """Resolve a backend name (None → :data:`DEFAULT_BACKEND`)."""
+    key = name or DEFAULT_BACKEND
+    try:
+        return BACKENDS[key]
+    except KeyError:
+        known = ", ".join(backend_names())
+        raise BackendError(f"unknown backend {key!r} (known: {known})") from None
+
+
+def dispatch(name: Optional[str], request: EngineRequest) -> "SimulationResult":
+    """Run ``request`` on the named backend, falling back loudly.
+
+    The fallback target is always the ``object`` backend, which
+    supports everything; requesting it directly never warns.
+    """
+    backend = resolve_backend(name)
+    reason = backend.supports(request)
+    if reason is not None:
+        fallback = BACKENDS[DEFAULT_BACKEND]
+        if backend is not fallback:
+            warnings.warn(
+                f"backend {backend.name!r} cannot run this job ({reason}); "
+                f"falling back to {fallback.name!r}",
+                BackendFallbackWarning,
+                stacklevel=2,
+            )
+            backend = fallback
+        else:  # pragma: no cover - object supports everything
+            raise BackendError(f"default backend rejected job: {reason}")
+    return backend.run(request)
+
+
+def _register_builtin_backends() -> None:
+    # Imported here (not at module top) to keep the layering acyclic:
+    # the object backend imports repro.gpu.gpu, which imports this
+    # module for dispatch.
+    from repro.engine.object_backend import ObjectBackend
+
+    if "object" not in BACKENDS:
+        register_backend(ObjectBackend())
+    if "vector" not in BACKENDS:
+        try:
+            from repro.engine.vector import VectorBackend
+        except ImportError:
+            # numpy is absent: the vector engine simply isn't offered.
+            # Every selection surface (CLI, schema, resolve_backend)
+            # reports it as unknown, which names the missing dependency
+            # better than an import traceback mid-dispatch.
+            return
+        register_backend(VectorBackend())

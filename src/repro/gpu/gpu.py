@@ -271,14 +271,20 @@ def run_kernel(
     track_loads: bool = False,
     keep_objects: bool = False,
     timeseries: bool = False,
+    backend: Optional[str] = None,
     options: Optional[RunOptions] = None,
 ) -> SimulationResult:
-    """Convenience wrapper: build a GPU and run one kernel.
+    """Convenience wrapper: run one kernel on the selected backend.
 
-    The canonical knob surface is ``options=RunOptions(...)``; the four
+    The canonical knob surface is ``options=RunOptions(...)``; the
     individual keywords remain as a compatibility shim for one release
     and may not be combined with ``options`` (ambiguous intent raises
     ``TypeError``).
+
+    ``backend`` (or ``options.backend``) picks the execution engine;
+    ``None`` means the default ``object`` engine. A backend that cannot
+    run the request exactly falls back to ``object`` with a
+    :class:`~repro.engine.base.BackendFallbackWarning`.
 
     By default the result carries SM/extension *snapshots* (every
     statistic, the load tracker, Linebacker's monitor/VTT) rather than
@@ -294,21 +300,28 @@ def run_kernel(
             keep_objects=keep_objects,
             timeseries=timeseries,
             max_concurrent_ctas=max_concurrent_ctas,
+            backend=backend,
         )
     elif (
         track_loads or keep_objects or timeseries
         or max_concurrent_ctas is not None
+        or backend is not None
     ):
         raise TypeError(
             "run_kernel: pass either options=RunOptions(...) or the "
             "legacy keywords, not both"
         )
-    gpu = GPU(
-        config,
-        kernel,
+    # Imported lazily: repro.engine registers backends whose object
+    # implementation imports this module (acyclic at import time).
+    from repro.engine import EngineRequest, dispatch
+
+    request = EngineRequest(
+        config=config,
+        kernel=kernel,
         extension_factory=extension_factory,
         max_concurrent_ctas=options.max_concurrent_ctas,
         track_loads=options.track_loads,
+        keep_objects=options.keep_objects,
         timeseries=options.timeseries,
     )
-    return gpu.run(keep_objects=options.keep_objects)
+    return dispatch(options.backend, request)

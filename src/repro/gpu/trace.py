@@ -9,8 +9,8 @@ CTA *c* only when that CTA is launched.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Iterator, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional, Sequence
 
 from repro.config import WARP_REGISTER_BYTES
 from repro.gpu.isa import Instruction, Op
@@ -34,6 +34,12 @@ class KernelTrace:
             ``w`` of CTA ``c``.
         shared_mem_per_cta: Shared memory footprint, which can bound
             occupancy just like registers.
+        app_spec: The generator :class:`~repro.workloads.generator.AppSpec`
+            this trace was built from, when it came from the synthetic
+            generator. Purely advisory: execution backends that can
+            synthesize the address stream in bulk (the vector backend's
+            trace compiler) use it; everything else falls back to the
+            ``warp_trace`` iterator, which remains the source of truth.
     """
 
     name: str
@@ -42,6 +48,7 @@ class KernelTrace:
     regs_per_thread: int
     warp_trace: WarpTraceFactory
     shared_mem_per_cta: int = 0
+    app_spec: Optional[object] = field(default=None, repr=False, compare=False)
 
     @property
     def warp_registers_per_warp(self) -> int:

@@ -45,6 +45,11 @@ class RunOptions:
     timeseries: bool = False
     #: Static CTA-residency cap (SWL-style throttling); ``None`` = off.
     max_concurrent_ctas: Optional[int] = None
+    #: Execution backend (``"object"`` | ``"vector"``); ``None`` means
+    #: the default backend. Participates in cache identity when set:
+    #: results computed by different backends never alias, so a
+    #: divergence between engines can always be bisected from cache.
+    backend: Optional[str] = None
 
     def to_overrides(self) -> dict[str, Any]:
         """The non-default fields, as the override/kwarg mapping.

@@ -29,6 +29,7 @@ from repro.baselines.swl import best_swl
 from repro.config import LinebackerConfig, SimulationConfig
 from repro.core.linebacker import linebacker_factory
 from repro.gpu.gpu import run_kernel
+from repro.options import RunOptions
 from repro.gpu.trace import KernelTrace
 
 
@@ -49,6 +50,13 @@ class ArchSpec:
     #: :func:`run_kernel` (the ``trace`` CLI and ``run --timeseries``
     #: only pass the override to architectures that advertise it).
     supports_timeseries: bool = False
+    #: Execution backends this architecture can run on. Architectures
+    #: whose runner attaches an SM extension (Linebacker, PCAL, CERF)
+    #: are object-only until those hooks vectorize; extension-free
+    #: architectures run on every engine. Submission surfaces (CLI,
+    #: HTTP schema, figure contexts) validate/drop a ``backend``
+    #: override against this, mirroring ``supports_timeseries``.
+    supports_backends: tuple = ("object",)
 
 
 ARCHITECTURES: dict[str, ArchSpec] = {}
@@ -59,6 +67,7 @@ def register(
     description: str = "",
     returns: str = "result",
     supports_timeseries: bool = False,
+    supports_backends: tuple = ("object",),
 ):
     """Register a module-level run function as architecture ``name``."""
 
@@ -71,6 +80,7 @@ def register(
             description=description,
             returns=returns,
             supports_timeseries=supports_timeseries,
+            supports_backends=supports_backends,
         )
         return fn
 
@@ -88,19 +98,39 @@ def resolve(name: str) -> ArchSpec:
 # ---------------------------------------------------------------------------
 # Architecture runners. Signature: run(config, kernel, **params).
 # ---------------------------------------------------------------------------
-@register("baseline", "stock GPU, no memory-path policy", supports_timeseries=True)
+@register(
+    "baseline",
+    "stock GPU, no memory-path policy",
+    supports_timeseries=True,
+    supports_backends=("object", "vector"),
+)
 def _run_baseline(
     config: SimulationConfig,
     kernel: KernelTrace,
     track_loads: bool = False,
     timeseries: bool = False,
+    backend: Optional[str] = None,
 ):
-    return run_kernel(config, kernel, track_loads=track_loads, timeseries=timeseries)
+    return run_kernel(
+        config, kernel,
+        options=RunOptions(
+            track_loads=track_loads, timeseries=timeseries, backend=backend
+        ),
+    )
 
 
-@register("best_swl", "oracle static CTA-limit sweep", returns="best_swl")
-def _run_best_swl(config: SimulationConfig, kernel: KernelTrace):
-    return best_swl(config, kernel)
+@register(
+    "best_swl",
+    "oracle static CTA-limit sweep",
+    returns="best_swl",
+    supports_backends=("object", "vector"),
+)
+def _run_best_swl(
+    config: SimulationConfig,
+    kernel: KernelTrace,
+    backend: Optional[str] = None,
+):
+    return best_swl(config, kernel, backend=backend)
 
 
 @register(
@@ -113,13 +143,14 @@ def _run_linebacker(
     kernel: KernelTrace,
     lb_config: Optional[LinebackerConfig] = None,
     timeseries: bool = False,
+    backend: Optional[str] = None,
 ):
     lb = lb_config or config.linebacker
     return run_kernel(
         config,
         kernel,
         extension_factory=linebacker_factory(lb),
-        timeseries=timeseries,
+        options=RunOptions(timeseries=timeseries, backend=backend),
     )
 
 
@@ -129,14 +160,17 @@ def _run_linebacker(
     supports_timeseries=True,
 )
 def _run_victim_caching(
-    config: SimulationConfig, kernel: KernelTrace, timeseries: bool = False
+    config: SimulationConfig,
+    kernel: KernelTrace,
+    timeseries: bool = False,
+    backend: Optional[str] = None,
 ):
     lb = replace(config.linebacker, enable_selective=False, enable_throttling=False)
     return run_kernel(
         config,
         kernel,
         extension_factory=linebacker_factory(lb),
-        timeseries=timeseries,
+        options=RunOptions(timeseries=timeseries, backend=backend),
     )
 
 
@@ -146,34 +180,47 @@ def _run_victim_caching(
     supports_timeseries=True,
 )
 def _run_selective_victim_caching(
-    config: SimulationConfig, kernel: KernelTrace, timeseries: bool = False
+    config: SimulationConfig,
+    kernel: KernelTrace,
+    timeseries: bool = False,
+    backend: Optional[str] = None,
 ):
     lb = replace(config.linebacker, enable_throttling=False)
     return run_kernel(
         config,
         kernel,
         extension_factory=linebacker_factory(lb),
-        timeseries=timeseries,
+        options=RunOptions(timeseries=timeseries, backend=backend),
     )
 
 
 @register("pcal", "PCAL bypass-token throttling (HPCA 2015)", supports_timeseries=True)
-def _run_pcal(config: SimulationConfig, kernel: KernelTrace, timeseries: bool = False):
+def _run_pcal(
+    config: SimulationConfig,
+    kernel: KernelTrace,
+    timeseries: bool = False,
+    backend: Optional[str] = None,
+):
     return run_kernel(
         config,
         kernel,
         extension_factory=pcal_factory(config.linebacker),
-        timeseries=timeseries,
+        options=RunOptions(timeseries=timeseries, backend=backend),
     )
 
 
 @register("cerf", "CERF unified RF/L1 caching (MICRO 2016)", supports_timeseries=True)
-def _run_cerf(config: SimulationConfig, kernel: KernelTrace, timeseries: bool = False):
+def _run_cerf(
+    config: SimulationConfig,
+    kernel: KernelTrace,
+    timeseries: bool = False,
+    backend: Optional[str] = None,
+):
     return run_kernel(
         config,
         kernel,
         extension_factory=cerf_factory(config.linebacker),
-        timeseries=timeseries,
+        options=RunOptions(timeseries=timeseries, backend=backend),
     )
 
 
@@ -183,14 +230,17 @@ def _run_cerf(config: SimulationConfig, kernel: KernelTrace, timeseries: bool = 
     supports_timeseries=True,
 )
 def _run_pcal_svc(
-    config: SimulationConfig, kernel: KernelTrace, timeseries: bool = False
+    config: SimulationConfig,
+    kernel: KernelTrace,
+    timeseries: bool = False,
+    backend: Optional[str] = None,
 ):
     lb = replace(config.linebacker, enable_throttling=False)
     return run_kernel(
         config,
         kernel,
         extension_factory=linebacker_factory(lb, enable_bypass_throttling=True),
-        timeseries=timeseries,
+        options=RunOptions(timeseries=timeseries, backend=backend),
     )
 
 
@@ -200,27 +250,49 @@ def _run_pcal_svc(
     supports_timeseries=True,
 )
 def _run_pcal_cerf(
-    config: SimulationConfig, kernel: KernelTrace, timeseries: bool = False
+    config: SimulationConfig,
+    kernel: KernelTrace,
+    timeseries: bool = False,
+    backend: Optional[str] = None,
 ):
     return run_kernel(
         config,
         kernel,
         extension_factory=PCALCERFFactory(config.linebacker),
-        timeseries=timeseries,
+        options=RunOptions(timeseries=timeseries, backend=backend),
     )
 
 
-@register("cache_ext", "Sec 2.4: idealized SUR-enlarged L1")
-def _run_cache_ext(config: SimulationConfig, kernel: KernelTrace):
-    return run_cache_ext(config, kernel)
-
-
-@register("best_swl_cache_ext", "Sec 2.4: oracle throttling + (SUR+DUR)-enlarged L1")
-def _run_best_swl_cache_ext(
-    config: SimulationConfig, kernel: KernelTrace, cta_limit: Optional[int] = None
+@register(
+    "cache_ext",
+    "Sec 2.4: idealized SUR-enlarged L1",
+    supports_backends=("object", "vector"),
+)
+def _run_cache_ext(
+    config: SimulationConfig,
+    kernel: KernelTrace,
+    backend: Optional[str] = None,
 ):
-    limit = cta_limit if cta_limit is not None else best_swl(config, kernel).best_limit
-    return run_swl_cache_ext(config, kernel, limit)
+    return run_cache_ext(config, kernel, backend=backend)
+
+
+@register(
+    "best_swl_cache_ext",
+    "Sec 2.4: oracle throttling + (SUR+DUR)-enlarged L1",
+    supports_backends=("object", "vector"),
+)
+def _run_best_swl_cache_ext(
+    config: SimulationConfig,
+    kernel: KernelTrace,
+    cta_limit: Optional[int] = None,
+    backend: Optional[str] = None,
+):
+    limit = (
+        cta_limit
+        if cta_limit is not None
+        else best_swl(config, kernel, backend=backend).best_limit
+    )
+    return run_swl_cache_ext(config, kernel, limit, backend=backend)
 
 
 @register(
@@ -229,12 +301,15 @@ def _run_best_swl_cache_ext(
     supports_timeseries=True,
 )
 def _run_lb_cache_ext(
-    config: SimulationConfig, kernel: KernelTrace, timeseries: bool = False
+    config: SimulationConfig,
+    kernel: KernelTrace,
+    timeseries: bool = False,
+    backend: Optional[str] = None,
 ):
     cfg = config_with_cache_ext(config, kernel)
     return run_kernel(
         cfg,
         kernel,
         extension_factory=linebacker_factory(cfg.linebacker),
-        timeseries=timeseries,
+        options=RunOptions(timeseries=timeseries, backend=backend),
     )

@@ -48,7 +48,10 @@ from repro.runner.spec import JobSpec
 #: Bump on any incompatible change to the JSON job document shape.
 #: v2: optional ``workload`` member carrying a declarative workload
 #: document (``repro.workloads.spec``) for non-Table-2 apps.
-JOB_SCHEMA_VERSION = 2
+#: v3: ``options.backend`` selects the execution engine; decoders
+#: validate the name against the backend registry and the arch's
+#: ``supports_backends`` capability.
+JOB_SCHEMA_VERSION = 3
 
 #: Override keys whose values are dataclasses (encoded as field dicts).
 _DATACLASS_OVERRIDES = {"lb_config": LinebackerConfig}
@@ -231,6 +234,25 @@ def decode_jobspec(doc: Any) -> JobSpec:
         options = RunOptions(**opt_doc)
     except TypeError as exc:
         raise SchemaError(f"options: {exc}") from None
+    if options.backend is not None:
+        # Reject unknown engines and arch/backend mismatches at decode
+        # time: a coordinator-side 400 names the fix, whereas a
+        # worker-side BackendFallbackWarning is invisible to the
+        # remote client that pinned the backend.
+        from repro.engine import backend_names
+
+        if options.backend not in backend_names():
+            raise SchemaError(
+                f"options.backend: unknown backend {options.backend!r}; "
+                f"known: {', '.join(backend_names())}"
+            )
+        supported = ARCHITECTURES[arch].supports_backends
+        if options.backend not in supported:
+            raise SchemaError(
+                f"options.backend: architecture {arch!r} does not support "
+                f"the {options.backend!r} backend (supported: "
+                f"{', '.join(supported)})"
+            )
 
     over_doc = doc.get("overrides", {})
     if not isinstance(over_doc, Mapping):

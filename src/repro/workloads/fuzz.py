@@ -523,10 +523,16 @@ def _vtt_problems(extensions, label: str) -> list[str]:
 
 
 def differential_check(
-    spec: WorkloadSpec, *, scale: float = 1.0, sms: int = 1
+    spec: WorkloadSpec, *, scale: float = 1.0, sms: int = 1,
+    backend: Optional[str] = None,
 ) -> list[str]:
     """Simulate ``spec`` under Linebacker, Best-SWL and the baseline;
     check every engine invariant plus inline-vs-loopback bit-identity.
+
+    ``backend`` pins the execution engine for the extension-free legs
+    (baseline, Best-SWL); any non-default engine additionally gets a
+    backend-vs-object bit-identity check on the baseline run, so a
+    fuzzed workload that diverges between engines fails the harness.
     """
     from repro.core.linebacker import linebacker_factory
     from repro.gpu.gpu import run_kernel
@@ -550,13 +556,21 @@ def differential_check(
     problems += _vtt_problems(live.extensions, "linebacker")
 
     # Baseline conservation (no victim path: victim_hits must be 0).
-    base = resolve("baseline").runner(config, kernel)
+    base = resolve("baseline").runner(config, kernel, backend=backend)
     problems += _conservation_problems(base, "baseline")
     if sum(s.victim_hits for s in base.sm_stats):
         problems.append("baseline: non-zero victim hits without a VTT")
+    if backend not in (None, "object"):
+        obj = resolve("baseline").runner(config, kernel)
+        base_fp, obj_fp = _fingerprint(base), _fingerprint(obj)
+        if base_fp != obj_fp:
+            diff = [k for k in obj_fp if obj_fp[k] != base_fp.get(k)]
+            problems.append(
+                f"baseline: {backend} backend diverges from object on {diff}"
+            )
 
     # Best-SWL oracle: sweep sanity + conservation of the winner.
-    swl = resolve("best_swl").runner(config, kernel)
+    swl = resolve("best_swl").runner(config, kernel, backend=backend)
     problems += _conservation_problems(swl.best_result, "best_swl")
     if swl.best_limit not in swl.sweep_ipc:
         problems.append(

@@ -242,6 +242,7 @@ def build_kernel(spec: AppSpec) -> KernelTrace:
         regs_per_thread=spec.regs_per_thread,
         warp_trace=factory,
         shared_mem_per_cta=spec.shared_mem_per_cta,
+        app_spec=spec,
     )
 
 

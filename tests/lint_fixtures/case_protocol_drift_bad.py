@@ -6,7 +6,9 @@ Each encode/decode pair below disagrees about its field set, and the
 * wire hello: encoder emits ``pid`` the decoder never reads, decoder
   reads ``host`` the encoder never emits (two findings),
 * config: encoder emits ``seed`` outside the decoder's closed world,
-* ``JobSpec.priority`` never crosses the HTTP job surface.
+* ``JobSpec.priority`` never crosses the HTTP job surface,
+* http job: encoder emits ``backend`` outside the decoder's closed
+  world — the engine selector would be silently dropped on decode.
 """
 
 import json
@@ -56,11 +58,15 @@ class JobSpec:
 
 
 def encode_jobspec(spec):
-    return {
+    doc = {
         "schema": JOB_SCHEMA_VERSION,
         "app": spec.app,
         "arch": spec.arch,
     }
+    if spec.backend is not None:
+        # schema-twin-drift: decoder's closed world never accepts "backend"
+        doc["backend"] = spec.backend
+    return doc
 
 
 def decode_jobspec(doc):

@@ -60,11 +60,14 @@ def encode_jobspec(spec):
     }
     if spec.params:
         doc["options"] = dict(spec.params)
+    if spec.backend is not None:
+        doc["backend"] = spec.backend
     return doc
 
 
 def decode_jobspec(doc):
-    unknown = set(doc) - {"schema", "app", "arch", "options"}
+    unknown = set(doc) - {"schema", "app", "arch", "options", "backend"}
     if unknown:
         raise ValueError(f"unknown job fields: {sorted(unknown)}")
-    return (doc.get("app"), doc.get("arch"), doc.get("options"))
+    return (doc.get("app"), doc.get("arch"), doc.get("options"),
+            doc.get("backend"))

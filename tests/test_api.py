@@ -61,6 +61,7 @@ class TestRunOptions:
             "keep_objects",
             "timeseries",
             "max_concurrent_ctas",
+            "backend",
         }
 
     def test_spec_key_identical_for_options_and_legacy_kwargs(self):

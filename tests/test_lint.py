@@ -51,7 +51,7 @@ EXPECTED = {
     ),
     "protocol-drift": (
         "case_protocol_drift_bad.py",
-        {"schema-twin-drift": 4},
+        {"schema-twin-drift": 5},
     ),
     "slots": (
         "case_slots_bad.py",
@@ -64,6 +64,7 @@ EXPECTED = {
             "hook-missing-flag": 1,
             "capability-gate-missing": 3,
             "capability-flag-pinned": 1,
+            "backend-capability-mismatch": 1,
         },
     ),
     "pickle-safety": (

@@ -418,7 +418,7 @@ def test_run_options_field_deletion_demands_a_version_bump(tmp_path):
     assert [f.rule for f in drifted.findings] == ["schema-version-unbumped"]
     assert "run-options" in drifted.findings[0].message
 
-    mutate(root / "schema.py", "JOB_SCHEMA_VERSION = 2", "JOB_SCHEMA_VERSION = 3")
+    mutate(root / "schema.py", "JOB_SCHEMA_VERSION = 3", "JOB_SCHEMA_VERSION = 4")
     assert drift_lint(root, baseline).findings == []  # bump acknowledges it
 
 
@@ -437,7 +437,7 @@ def test_http_job_field_deletion_demands_a_version_bump(tmp_path):
     assert [f.rule for f in drifted.findings] == ["schema-version-unbumped"]
     assert "http-job" in drifted.findings[0].message
 
-    mutate(root / "schema.py", "JOB_SCHEMA_VERSION = 2", "JOB_SCHEMA_VERSION = 3")
+    mutate(root / "schema.py", "JOB_SCHEMA_VERSION = 3", "JOB_SCHEMA_VERSION = 4")
     assert drift_lint(root, baseline).findings == []
 
 

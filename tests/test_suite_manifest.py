@@ -24,6 +24,7 @@ from repro.workloads.suite import APP_SPECS, kernel_for
 TEST_MODULES = {
     "test_analysis",
     "test_api",
+    "test_backends",
     "test_backup",
     "test_baselines",
     "test_cache",
